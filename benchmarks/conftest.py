@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Benchmarks reproduce the paper's tables/figures at a scaled geometry
+(see DESIGN.md section 2 and repro.experiments.config).  Every bench
+prints the regenerated rows/series; pytest-benchmark records the
+harness runtime (one round — these are simulations, not microkernels).
+"""
+
+import pytest
+
+#: Linear shrink applied to the paper's capacities and footprints.
+BENCH_SCALE = 1.0 / 32.0
+#: Requests per simulated trace replay.
+BENCH_REQUESTS = 4000
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment callable exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def bench_requests():
+    return BENCH_REQUESTS

@@ -1,0 +1,69 @@
+"""X4 — die-level bus fidelity (Section II.B's serial I/O bus).
+
+The default timing model folds each die's serial bus into its channel
+(exact when one chip sits per channel, the Table I geometry).  This
+bench builds a 2-chips-per-channel geometry and measures what the
+die-aware model adds — quantifying the modelling error bar for dense
+packages and the paper's point that die-level parallelism "is
+constrained to the serial I/O bus".
+"""
+
+from conftest import BENCH_REQUESTS, run_once
+
+from repro.controller.device import SimulatedSSD
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.metrics.report import format_table
+from repro.sim.request import IoOp
+from repro.traces.synthetic import generate, make_workload
+
+MB = 1024 ** 2
+
+
+def dense_geometry() -> SSDGeometry:
+    # 4 channels x 2 chips x 2 dies x 2 planes = 64 planes, 2 dies/chip
+    return SSDGeometry.from_capacity(
+        64 * MB,
+        channels=4,
+        chips_per_package=2,
+        dies_per_chip=2,
+        planes_per_die=2,
+    )
+
+
+def run_die_aware():
+    geometry = dense_geometry()
+    spec = make_workload(
+        "tpcc", num_requests=BENCH_REQUESTS, footprint_bytes=int(geometry.capacity_bytes * 0.45)
+    )
+    trace = generate(spec)
+    rows = []
+    for die_aware in (False, True):
+        ssd = SimulatedSSD(geometry, ftl="dloop")
+        ssd.ftl.clock = FlashTimekeeper(geometry, ssd.timing, die_aware=die_aware)
+        # rebind the translation manager's clock to the replacement
+        ssd.ftl.tm.clock = ssd.ftl.clock
+        ssd.precondition(0.55)
+        for r in trace:
+            op = IoOp.WRITE if r.is_write else IoOp.READ
+            ssd.submit(ssd.byte_request(r.arrival_us, r.offset_bytes, r.size_bytes, op))
+        ssd.run()
+        ssd.verify()
+        rows.append(
+            {
+                "model": "die-aware" if die_aware else "channel-only",
+                "mean_ms": ssd.mean_response_ms(),
+                "p99_ms": ssd.stats.percentile_us(99) / 1000,
+            }
+        )
+    return rows
+
+
+def test_die_aware_fidelity(benchmark):
+    rows = run_once(benchmark, run_die_aware)
+    print()
+    print(format_table(rows, title="X4 — die-bus fidelity on a 2-chips-per-channel geometry (tpcc)"))
+    channel_only, die_aware = rows
+    # the extra contention can only slow things down, and modestly so
+    assert die_aware["mean_ms"] >= channel_only["mean_ms"] * 0.999
+    assert die_aware["mean_ms"] <= channel_only["mean_ms"] * 3.0

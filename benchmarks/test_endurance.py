@@ -1,0 +1,49 @@
+"""X2 — durability: write amplification -> device lifetime per FTL.
+
+The paper claims DLOOP achieves "high performance while maintaining
+good durability" (Section I / VI).  This bench measures each FTL's
+write amplification on the same workload and converts it into the
+standard endurance figures (TBW, DWPD) — WA divides lifetime directly.
+"""
+
+from conftest import BENCH_REQUESTS, BENCH_SCALE, run_once
+
+from repro.experiments.config import ExperimentConfig, GB, scaled_geometry
+from repro.experiments.runner import run_workload
+from repro.metrics.endurance import estimate_endurance
+from repro.metrics.report import format_table
+from repro.traces.synthetic import make_workload
+
+FTLS = ("dloop", "dftl", "fast")
+
+
+def run_endurance():
+    geometry = scaled_geometry(2, scale=BENCH_SCALE)
+    footprint = int(2 * GB * BENCH_SCALE * 0.45)
+    spec = make_workload("build", num_requests=BENCH_REQUESTS, footprint_bytes=footprint)
+    rows = []
+    for ftl in FTLS:
+        config = ExperimentConfig(geometry=geometry, ftl=ftl, precondition_fill=0.55)
+        r = run_workload(spec, config)
+        est = estimate_endurance(geometry, max(1.0, r.write_amplification))
+        rows.append({
+            "ftl": ftl,
+            "mean_ms": r.mean_response_ms,
+            **est.row(),
+            "TBW_raw": est.tbw,
+            "erases": r.erases,
+        })
+    return rows
+
+
+def test_endurance_comparison(benchmark):
+    rows = run_once(benchmark, run_endurance)
+    print()
+    display = [{k: v for k, v in row.items() if k != "TBW_raw"} for row in rows]
+    print(format_table(display, title="X2 — write amplification -> endurance (build trace, 2 GB-equivalent)"))
+    by = {r["ftl"]: r for r in rows}
+    # lower WA => more TBW; DLOOP must not be the endurance loser
+    assert by["dloop"]["TBW_raw"] >= by["fast"]["TBW_raw"]
+    for r in rows:
+        assert r["WA"] >= 1.0
+        assert r["TBW_raw"] > 0

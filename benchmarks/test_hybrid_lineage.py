@@ -1,0 +1,51 @@
+"""A5 — hybrid lineage: BAST -> FAST -> LAST on a random-update load.
+
+Not a paper figure, but the quantitative version of Section II.A's
+survey: each successor hybrid should reduce merge work on random
+updates, and all hybrids should trail the page-mapping FTLs.
+"""
+
+from conftest import BENCH_REQUESTS, BENCH_SCALE, run_once
+
+from repro.experiments.config import ExperimentConfig, GB, scaled_geometry
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.traces.synthetic import make_workload
+
+FTLS = ("bast", "fast", "last", "dftl", "dloop")
+
+
+def run_lineage():
+    geometry = scaled_geometry(8, scale=BENCH_SCALE)
+    footprint = int(8 * GB * BENCH_SCALE * 0.45)
+    spec = make_workload("financial1", num_requests=BENCH_REQUESTS, footprint_bytes=footprint)
+    results = []
+    for ftl in FTLS:
+        config = ExperimentConfig(geometry=geometry, ftl=ftl, precondition_fill=0.55)
+        results.append(run_workload(spec, config))
+    return results
+
+
+def test_hybrid_lineage(benchmark):
+    results = run_once(benchmark, run_lineage)
+    rows = [
+        {
+            "ftl": r.ftl,
+            "mean_ms": r.mean_response_ms,
+            "p99_ms": r.p99_response_ms,
+            "gc_moved": r.gc_moved_pages,
+            "erases": r.erases,
+        }
+        for r in results
+    ]
+    print()
+    print(format_table(rows, title="A5 — hybrid lineage on financial1 (8 GB-equivalent)"))
+    by = {r.ftl: r for r in results}
+    # Each hybrid generation moves less data under random updates...
+    assert by["fast"].gc_moved_pages < by["bast"].gc_moved_pages
+    # ...and the page mappers beat every hybrid.
+    slowest_page_mapper = max(by["dftl"].mean_response_ms, by["dloop"].mean_response_ms)
+    for hybrid in ("bast", "fast", "last"):
+        assert by[hybrid].mean_response_ms > slowest_page_mapper * 0.8
+    # DLOOP remains the overall winner.
+    assert by["dloop"].mean_response_ms == min(r.mean_response_ms for r in results)

@@ -1,0 +1,45 @@
+"""X1 — Fig. 2/3 micro-model: copy-back vs inter-plane copy.
+
+The paper's arithmetic: inter-plane ~325 us, intra-plane copy-back
+~225 us, a ~30% saving, with concurrent copy-backs on different planes
+overlapping completely and never touching the I/O bus.
+"""
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.flash.timing import TimingParams
+from repro.metrics.report import format_table
+
+
+def measure_micro():
+    geometry = SSDGeometry()
+    timing = TimingParams()
+    clock = FlashTimekeeper(geometry, timing)
+    inter = clock.inter_plane_copy(0, 1, 0.0)
+    clock2 = FlashTimekeeper(geometry, timing)
+    intra = clock2.copy_back(0, 0.0)
+    clock3 = FlashTimekeeper(geometry, timing)
+    # N concurrent copy-backs, one per plane (Fig. 3 parallelism)
+    concurrent = max(clock3.copy_back(p, 0.0) for p in range(geometry.num_planes))
+    bus_busy = float(clock3.counters.channel_busy_us.sum())
+    return {
+        "inter_plane_us": inter,
+        "copy_back_us": intra,
+        "saving_pct": 100.0 * (inter - intra) / inter,
+        "concurrent_32_copybacks_us": concurrent,
+        "bus_busy_during_copybacks_us": bus_busy,
+    }
+
+
+def test_micro_copyback(benchmark):
+    m = benchmark.pedantic(measure_micro, rounds=1, iterations=1)
+    print()
+    print(format_table([{"metric": k, "value": v} for k, v in m.items()],
+                       title="Fig. 2/3 micro-model (paper: ~325 us vs ~225 us, ~30% saving)"))
+    assert m["copy_back_us"] == 225.0
+    assert 320 < m["inter_plane_us"] < 335
+    assert 28 < m["saving_pct"] < 33
+    # plane-level parallelism: 32 concurrent copy-backs take one copy-back's time
+    assert m["concurrent_32_copybacks_us"] == 225.0
+    # and the external bus stays free throughout
+    assert m["bus_busy_during_copybacks_us"] == 0.0

@@ -1,0 +1,28 @@
+"""T1 — Table I: simulation parameters, printed from the live objects."""
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.metrics.report import format_table
+
+
+def build_table1():
+    geometry = SSDGeometry()  # the paper's fixed configuration
+    timing = TimingParams()
+    rows = [{"Parameter": k, "Value (fixed)": v} for k, v in geometry.describe().items()]
+    rows += [{"Parameter": k, "Value (fixed)": v} for k, v in timing.describe().items()]
+    return rows
+
+
+def test_table1_parameters(benchmark):
+    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table I — simulation parameters (fixed values)"))
+    values = {r["Parameter"]: r["Value (fixed)"] for r in rows}
+    assert values["SSD capacity (GB)"] == 8.0
+    assert values["Page size (KB)"] == 2.0
+    assert values["Pages per block"] == 64
+    assert values["Percentage of extra blocks"] == 3.0
+    assert values["Block erase latency (us)"] == 2000.0
+    assert values["Page read latency (us)"] == 25.0
+    assert values["Page write latency (us)"] == 200.0
+    assert values["Chip transfer latency per byte (us)"] == 0.025

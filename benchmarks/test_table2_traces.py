@@ -1,0 +1,46 @@
+"""T2 — Table II: measured statistics of the five synthetic workloads.
+
+Prints the generated traces' fingerprints next to the published
+calibration targets (write %, mean request size)."""
+
+from conftest import BENCH_REQUESTS
+
+from repro.experiments.config import GB
+from repro.metrics.report import format_table
+from repro.traces.stats import measure
+from repro.traces.synthetic import PAPER_TRACE_NAMES, generate, make_workload
+
+PAPER_TARGETS = {
+    # trace: (write %, mean KB) — Table II as calibrated in DESIGN.md
+    "financial1": (63, 3.0),
+    "financial2": (18, 2.0),
+    "tpcc": (61, 8.0),
+    "exchange": (46, 12.0),
+    "build": (84, 8.0),
+}
+
+
+def build_table2():
+    footprint = int(2 * GB / 32 * 0.55)
+    rows = []
+    for name in PAPER_TRACE_NAMES:
+        spec = make_workload(name, num_requests=BENCH_REQUESTS, footprint_bytes=footprint)
+        stats = measure(name, generate(spec))
+        row = stats.row()
+        target = PAPER_TARGETS[name]
+        row["paper Write(%)"] = target[0]
+        row["paper Ave. size"] = f"{target[1]}KB"
+        rows.append(row)
+    return rows
+
+
+def test_table2_trace_statistics(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table II — synthetic trace statistics vs calibration targets"))
+    for row in rows:
+        name = row["Traces"]
+        want_pct, want_kb = PAPER_TARGETS[name]
+        assert abs(row["Write(%)"] - want_pct) <= 3.5
+        measured_kb = float(row["Ave. size"].rstrip("KB"))
+        assert abs(measured_kb - want_kb) / want_kb <= 0.12

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Build your own FTL in ~60 lines (docs/ftl-guide.md, runnable).
+
+Implements **RoundRobinFtl**: writes rotate over planes in strict
+round-robin order (ignoring the LPN), with base-class GC doing the
+reclamation through controller copies.  It is deliberately simple —
+the point is the contract: state through `self.array`, time through
+`self.clock`, truth in `self.page_table`, and `verify_integrity()`
+holding after any workload.
+
+The example then races it against DLOOP and DFTL, which shows where the
+naive design lands: striping-like plane spread (good), but updates
+scatter away from their original plane, so GC can never use copy-back.
+
+Run:  python examples/custom_ftl.py
+"""
+
+from repro.controller.device import SimulatedSSD
+from repro.experiments.config import scaled_geometry
+from repro.flash.array import FlashStateError
+from repro.ftl.allocator import PlaneAllocator
+from repro.ftl.base import Ftl, OutOfSpaceError
+from repro.metrics.report import format_table
+from repro.metrics.sdrpp import sdrpp
+from repro.sim.request import IoOp
+from repro.traces.synthetic import generate, make_workload
+
+
+class RoundRobinFtl(Ftl):
+    """Pure page-mapping FTL with round-robin plane placement."""
+
+    name = "round-robin"
+
+    def __init__(self, geometry, timing=None, **kwargs):
+        super().__init__(geometry, timing, **kwargs)
+        self.num_planes = geometry.num_planes
+        self.allocators = [PlaneAllocator(p, self.array) for p in range(self.num_planes)]
+        self._next_plane = 0
+
+    # -- host interface ----------------------------------------------------
+
+    def read_page(self, lpn, start):
+        self.check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn = self.current_ppn(lpn)
+        if ppn == -1:
+            self.stats.unmapped_reads += 1
+            return start
+        return self.clock.read_page(self.codec.ppn_to_plane(ppn), start)
+
+    def write_page(self, lpn, start):
+        self.check_lpn(lpn)
+        self.stats.host_writes += 1
+        plane = self._next_plane
+        self._next_plane = (plane + 1) % self.num_planes
+        t = self._maybe_gc(plane, start)      # reclaim before taking a page
+        old_ppn = self.current_ppn(lpn)
+        try:
+            new_ppn = self.allocators[plane].allocate(lpn)
+        except FlashStateError as exc:
+            raise OutOfSpaceError(f"plane {plane} full") from exc
+        t = self.clock.program_page(plane, t)
+        if old_ppn != -1:
+            self.array.invalidate(old_ppn)
+        self.page_table[lpn] = new_ppn
+        return self._maybe_gc(plane, t)
+
+    # -- GC hooks for the base orchestration --------------------------------
+
+    def _gc_exclude(self, plane):
+        return self.allocators[plane].active_blocks()
+
+    def _gc_max_valid(self, plane):
+        allocator = self.allocators[plane]
+        current_free = (
+            self.array.block_free_pages(allocator.current_block)
+            if allocator.current_block is not None
+            else 0
+        )
+        ppb = self.geometry.pages_per_block
+        return current_free + max(0, self.array.free_block_count(plane) - 1) * ppb
+
+    def _gc_alloc_any(self, owner):
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        dst = max(range(self.num_planes), key=lambda p: counts[p])
+        return self.allocators[dst].allocate(owner)
+
+    def _collect(self, plane, victim, now):
+        t = now
+        for ppn in list(self.array.valid_pages_in_block(victim)):
+            lpn = self.array.owner_of(ppn)
+            new_ppn = self.allocators[plane].allocate(lpn)
+            t = self.clock.inter_plane_copy(plane, plane, t)  # no copy-back here
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(ppn)
+            self.page_table[lpn] = new_ppn
+        t = self.clock.erase_block(plane, t)
+        self.array.erase(victim)
+        self.array.release_block(victim)
+        self.gc_stats.erased_blocks += 1
+        return t
+
+
+def main() -> None:
+    geometry = scaled_geometry(2, scale=1 / 32)
+    spec = make_workload(
+        "tpcc", num_requests=4000, footprint_bytes=int(geometry.capacity_bytes * 0.45)
+    )
+    trace = generate(spec)
+    rows = []
+    contenders = [
+        ("round-robin", lambda: SimulatedSSD(geometry, ftl=RoundRobinFtl(geometry))),
+        ("dloop", lambda: SimulatedSSD(geometry, ftl="dloop")),
+        ("dftl", lambda: SimulatedSSD(geometry, ftl="dftl")),
+    ]
+    for name, build in contenders:
+        ssd = build()
+        ssd.precondition(0.55)
+        for r in trace:
+            op = IoOp.WRITE if r.is_write else IoOp.READ
+            ssd.submit(ssd.byte_request(r.arrival_us, r.offset_bytes, r.size_bytes, op))
+        ssd.run()
+        ssd.verify()
+        rows.append(
+            {
+                "ftl": name,
+                "mean_ms": round(ssd.mean_response_ms(), 3),
+                "sdrpp": round(sdrpp(ssd.counters), 3),
+                "copybacks": ssd.counters.copybacks,
+                "gc_moved": ssd.ftl.gc_stats.moved_pages,
+            }
+        )
+    print(format_table(rows, title="Your FTL vs the field (tpcc, 2 GB-equivalent)"))
+    print("""
+Round-robin spreads load as evenly as DLOOP (compare SDRPP) and, with
+no mapping-cache traffic, can even look fast — but its GC pays bus
+time for every move (copybacks = 0).  DLOOP's trick is that placement
+*by data identity* makes copy-back legal.  See docs/ftl-guide.md for
+the full contract this example implements.
+""")
+
+
+if __name__ == "__main__":
+    main()

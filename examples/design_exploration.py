@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Design exploration: how geometry knobs move the needle for DLOOP.
+
+Sweeps the two hardware knobs the paper varies (page size, Fig. 9;
+extra-block percentage, Fig. 10) plus DLOOP's own GC threshold, and
+prints the response-time surface.  This is the workflow a storage
+architect would use the library for: pick a trace, turn the knobs,
+read the trade-offs.
+
+Run:  python examples/design_exploration.py
+"""
+
+from repro.experiments.config import ExperimentConfig, scaled_geometry
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.traces.synthetic import make_workload
+
+SCALE = 1 / 32
+GB = 1024 ** 3
+KB = 1024
+
+
+def main() -> None:
+    footprint = int(8 * GB * SCALE * 0.8)
+    spec = make_workload("financial1", num_requests=4000, footprint_bytes=footprint)
+
+    print("== Page size (Fig. 9 axis) ==")
+    # gentler scale: large pages at 1/32 leave too few blocks per plane
+    rows = []
+    for page_kb in (2, 4, 8, 16):
+        geometry = scaled_geometry(8, scale=1 / 8, page_size=page_kb * KB)
+        config = ExperimentConfig(geometry=geometry, ftl="dloop", precondition_fill=0.9)
+        r = run_workload(spec, config)
+        rows.append({"page_kb": page_kb, "mean_ms": round(r.mean_response_ms, 3),
+                     "gc_passes": r.gc_passes, "sdrpp": round(r.sdrpp, 3)})
+    print(format_table(rows))
+
+    print("\n== Extra blocks (Fig. 10 axis) ==")
+    rows = []
+    for pct in (3, 5, 7, 10):
+        geometry = scaled_geometry(8, scale=SCALE, extra_blocks_percent=pct)
+        config = ExperimentConfig(geometry=geometry, ftl="dloop", precondition_fill=0.9)
+        r = run_workload(spec, config)
+        rows.append({"extra_%": pct, "mean_ms": round(r.mean_response_ms, 3),
+                     "gc_passes": r.gc_passes, "wasted_pages": r.gc_wasted_pages})
+    print(format_table(rows))
+
+    print("\n== GC threshold (DLOOP knob, Section III.C) ==")
+    rows = []
+    geometry = scaled_geometry(8, scale=SCALE)
+    for threshold in (2, 3, 5, 8):
+        config = ExperimentConfig(geometry=geometry, ftl="dloop",
+                                  gc_threshold=threshold, precondition_fill=0.9)
+        r = run_workload(spec, config)
+        rows.append({"gc_threshold": threshold, "mean_ms": round(r.mean_response_ms, 3),
+                     "gc_passes": r.gc_passes, "p99_ms": round(r.p99_response_ms, 2)})
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

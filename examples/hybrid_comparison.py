@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The hybrid FTL family tree: BAST -> FAST -> LAST vs the page mappers.
+
+Section II.A surveys log-block FTLs; this example runs the whole
+lineage on one random-update workload and shows *why* each successor
+exists: BAST thrashes its per-block log associations, FAST fixes that
+with full associativity but pays huge full merges, LAST trims merge
+cost by separating hot from cold — and page-mapping FTLs (DFTL, DLOOP)
+sidestep merges entirely.
+
+Run:  python examples/hybrid_comparison.py
+"""
+
+from repro.controller.device import SimulatedSSD
+from repro.experiments.config import scaled_geometry
+from repro.metrics.amplification import amplification
+from repro.metrics.ascii_chart import hbar_chart
+from repro.metrics.report import format_table
+from repro.sim.request import IoOp
+from repro.traces.synthetic import generate, make_workload
+
+SCALE = 1 / 32
+
+FTLS = ("bast", "fast", "last", "superblock", "dftl", "dloop")
+
+
+def main() -> None:
+    geometry = scaled_geometry(8, scale=SCALE)
+    spec = make_workload(
+        "financial1",
+        num_requests=5000,
+        footprint_bytes=int(geometry.capacity_bytes * 0.45),
+    )
+    trace = generate(spec)
+
+    rows = []
+    means = {}
+    for ftl_name in FTLS:
+        ssd = SimulatedSSD(geometry, ftl=ftl_name)
+        ssd.precondition(0.55)
+        for r in trace:
+            op = IoOp.WRITE if r.is_write else IoOp.READ
+            ssd.submit(ssd.byte_request(r.arrival_us, r.offset_bytes, r.size_bytes, op))
+        ssd.run()
+        ssd.verify()
+        report = amplification(ssd.stats, ssd.counters)
+        row = {
+            "ftl": ftl_name,
+            "mean_ms": round(ssd.mean_response_ms(), 3),
+            "p99_ms": round(ssd.stats.percentile_us(99) / 1000, 2),
+            "WA": round(report.write_amplification, 2),
+            "moved_pages": ssd.ftl.gc_stats.moved_pages,
+            "erases": ssd.counters.erases,
+        }
+        extra = getattr(ssd.ftl, "fast_stats", None) or getattr(ssd.ftl, "bast_stats", None) \
+            or getattr(ssd.ftl, "last_stats", None)
+        if extra is not None:
+            row["merges"] = getattr(extra, "full_merges", 0)
+        rows.append(row)
+        means[ftl_name] = ssd.mean_response_ms()
+
+    print(format_table(rows, title="Hybrid lineage vs page mappers (financial1, 8 GB-equivalent)"))
+    print()
+    print(hbar_chart(means, title="mean response time", unit=" ms"))
+    print("""
+Reading the table: BAST's per-block associations merge after only a
+handful of pages (huge WA); FAST's shared logs absorb more updates but
+full merges gather whole logical blocks; LAST's hot/cold split lets
+dead hot blocks erase for free; DFTL/DLOOP never merge — and DLOOP's
+copy-back GC keeps even that cost off the bus.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""OLTP head-to-head: DLOOP vs DFTL vs FAST on enterprise workloads.
+
+The scenario the paper's introduction motivates: enterprise-scale
+random-write-dominant traffic (Financial1) against read-dominant
+traffic (Financial2).  Reproduces the Section V comparison on one
+capacity point and prints the full breakdown — response times, SDRPP,
+GC behaviour and where each FTL's time went.
+
+Run:  python examples/oltp_study.py
+"""
+
+from repro.experiments.config import ExperimentConfig, scaled_geometry
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.traces.synthetic import make_workload
+
+SCALE = 1 / 32
+GB = 1024 ** 3
+
+
+def main() -> None:
+    geometry = scaled_geometry(8, scale=SCALE)  # the paper's 8 GB point
+    footprint = int(8 * GB * SCALE * 0.8)
+
+    rows = []
+    for trace_name in ("financial1", "financial2"):
+        spec = make_workload(trace_name, num_requests=10000, footprint_bytes=footprint)
+        for ftl in ("dloop", "dftl", "fast"):
+            config = ExperimentConfig(geometry=geometry, ftl=ftl, precondition_fill=0.9)
+            r = run_workload(spec, config)
+            rows.append(
+                {
+                    "trace": r.trace,
+                    "ftl": r.ftl,
+                    "mean_ms": round(r.mean_response_ms, 3),
+                    "read_ms": round(r.read_response_ms, 3),
+                    "write_ms": round(r.write_response_ms, 3),
+                    "p99_ms": round(r.p99_response_ms, 2),
+                    "sdrpp": round(r.sdrpp, 3),
+                    "gc_moved": r.gc_moved_pages,
+                    "copybacks": r.copybacks,
+                    "erases": r.erases,
+                }
+            )
+
+    print(format_table(rows, title="OLTP study — 8 GB-equivalent SSD (scaled 1/32)"))
+
+    print("""
+Reading the table (paper, Section V.B):
+ * financial1 (random-write-dominant): DLOOP's GC moves pages by
+   intra-plane copy-back, so its write and p99 latencies stay low while
+   DFTL queues on its single active block + plane-0 mapping store and
+   FAST pays full merges.
+ * financial2 (read-dominant): few updates -> little GC -> the gap
+   between DLOOP and DFTL narrows, exactly as the paper observes.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows end to end::
+
+    repro-sim simulate  --ftl dloop --workload financial1 ...   # one run
+    repro-sim tracegen  --workload tpcc --out trace.spc ...     # save a trace
+    repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
+    repro-sim report    --input results.json                    # tables/charts
+
+Install exposes it as ``repro-sim``; ``python -m repro.cli`` also works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.controller.device import SimulatedSSD
+from repro.experiments.config import ExperimentConfig, GB, KB, MB
+from repro.experiments.runner import run_simulation
+from repro.flash.geometry import SSDGeometry
+from repro.ftl.registry import available_ftls
+from repro.metrics.amplification import amplification
+from repro.metrics.ascii_chart import hbar_chart
+from repro.metrics.report import format_table
+from repro.metrics.sdrpp import sdrpp
+from repro.sim.request import IoOp
+from repro.traces.parser import parse_disksim, parse_spc, write_disksim, write_spc
+from repro.traces.synthetic import EXTRA_TRACE_NAMES, PAPER_TRACE_NAMES, generate, make_workload
+
+
+def _build_geometry(args) -> SSDGeometry:
+    return SSDGeometry.from_capacity(
+        int(args.capacity_mb * MB),
+        page_size=int(args.page_kb * KB),
+        extra_blocks_percent=args.extra_pct,
+        channels=args.channels,
+    )
+
+
+def _load_trace(path: str):
+    if path.endswith(".spc") or path.endswith(".csv"):
+        return parse_spc(path)
+    return parse_disksim(path)
+
+
+def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--capacity-mb", type=float, default=256.0, help="data-sheet capacity (MB)")
+    parser.add_argument("--page-kb", type=float, default=2.0, help="flash page size (KB)")
+    parser.add_argument("--extra-pct", type=float, default=3.0, help="extra (over-provisioned) blocks %%")
+    parser.add_argument("--channels", type=int, default=8)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=PAPER_TRACE_NAMES + EXTRA_TRACE_NAMES, default="financial1")
+    parser.add_argument("--requests", type=int, default=5000)
+    parser.add_argument("--footprint-mb", type=float, default=None,
+                        help="workload footprint (default: 55%% of capacity)")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def cmd_simulate(args) -> int:
+    if args.config:
+        from repro.experiments.config import load_config
+
+        config = load_config(args.config)
+        geometry = config.geometry
+    else:
+        geometry = _build_geometry(args)
+    if args.trace:
+        trace = _load_trace(args.trace)
+        trace_name = args.trace
+    else:
+        footprint = int(args.footprint_mb * MB) if args.footprint_mb else int(geometry.capacity_bytes * 0.55)
+        spec = make_workload(args.workload, num_requests=args.requests,
+                             footprint_bytes=footprint, seed=args.seed)
+        trace = generate(spec)
+        trace_name = spec.name
+    if not args.config:
+        config = ExperimentConfig(
+            geometry=geometry,
+            ftl=args.ftl,
+            cmt_entries=args.cmt_entries,
+            gc_threshold=args.gc_threshold,
+            precondition_fill=args.precondition if args.precondition > 0 else None,
+        )
+    if args.iodepth:
+        from repro.controller.closedloop import ClosedLoopDriver
+        from repro.controller.device import SimulatedSSD as _SSD
+
+        ssd = _SSD(config.geometry, config.timing, ftl=config.ftl, **config.build_kwargs())
+        if config.precondition_fill:
+            ssd.precondition(config.precondition_fill)
+        page = config.geometry.page_size
+        num_lpns = config.geometry.num_lpns
+        ops = []
+        for r in trace:
+            first = min(r.offset_bytes // page, num_lpns - 1)
+            last = min((r.end_bytes - 1) // page, num_lpns - 1)
+            ops.append((first, max(1, last - first + 1), r.is_write))
+        loop_result = ClosedLoopDriver(ssd, ops, iodepth=args.iodepth).run()
+        rows = [{"metric": k, "value": v} for k, v in loop_result.row(page).items()]
+        rows.append({"metric": "duration (s)", "value": loop_result.duration_us / 1e6})
+        print(format_table(rows, title=f"{config.ftl} closed-loop iodepth={args.iodepth} on {trace_name}"))
+        return 0
+    result = run_simulation(trace, config, trace_name=trace_name)
+    rows = [
+        {"metric": "mean response (ms)", "value": result.mean_response_ms},
+        {"metric": "read mean (ms)", "value": result.read_response_ms},
+        {"metric": "write mean (ms)", "value": result.write_response_ms},
+        {"metric": "p99 (ms)", "value": result.p99_response_ms},
+        {"metric": "SDRPP (ln)", "value": result.sdrpp},
+        {"metric": "GC passes", "value": result.gc_passes},
+        {"metric": "GC moved pages", "value": result.gc_moved_pages},
+        {"metric": "copy-backs", "value": result.copybacks},
+        {"metric": "erases", "value": result.erases},
+        {"metric": "wall time (s)", "value": result.wall_time_s},
+    ]
+    if result.cmt_hit_ratio is not None:
+        rows.insert(5, {"metric": "CMT hit ratio", "value": result.cmt_hit_ratio})
+    capacity_mb = geometry.capacity_bytes / MB
+    print(format_table(rows, title=f"{config.ftl} on {trace_name} ({capacity_mb:g} MB SSD)"))
+    if args.json:
+        from repro.experiments.results_io import save_results_json
+
+        save_results_json([result], args.json)
+        print(f"\nresult saved to {args.json}")
+    return 0
+
+
+def cmd_tracegen(args) -> int:
+    footprint = int(args.footprint_mb * MB) if args.footprint_mb else 64 * MB
+    spec = make_workload(args.workload, num_requests=args.requests,
+                         footprint_bytes=footprint, seed=args.seed)
+    trace = generate(spec)
+    with open(args.out, "w", encoding="ascii") as handle:
+        if args.format == "spc":
+            write_spc(trace, handle)
+        else:
+            write_disksim(trace, handle)
+    print(f"wrote {len(trace)} requests of '{spec.name}' to {args.out} ({args.format})")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import capacity, extrablocks, pagesize
+
+    if args.figure == 8:
+        results = capacity.run_capacity_sweep(
+            scale=args.scale, num_requests=args.requests, traces=args.traces or PAPER_TRACE_NAMES
+        )
+        table = capacity.rows(results)
+    elif args.figure == 9:
+        results = pagesize.run_pagesize_sweep(
+            scale=args.scale, num_requests=args.requests, traces=args.traces or PAPER_TRACE_NAMES
+        )
+        table = pagesize.rows(results)
+    else:
+        results = extrablocks.run_extrablocks_sweep(
+            scale=args.scale, num_requests=args.requests, traces=args.traces or PAPER_TRACE_NAMES
+        )
+        table = extrablocks.rows(results)
+    print(format_table(table, title=f"Figure {args.figure} sweep (scale {args.scale:g})"))
+    if args.out:
+        from repro.experiments.results_io import save_results_csv, save_results_json
+
+        if args.out.endswith(".json"):
+            save_results_json(results, args.out)
+        else:
+            save_results_csv(results, args.out)
+        print(f"\nresults saved to {args.out}")
+    return 0
+
+
+def cmd_trace_stats(args) -> int:
+    if args.trace:
+        trace = _load_trace(args.trace)
+        name = args.trace
+    else:
+        footprint = int(args.footprint_mb * MB) if args.footprint_mb else 64 * MB
+        spec = make_workload(args.workload, num_requests=args.requests,
+                             footprint_bytes=footprint, seed=args.seed)
+        trace = generate(spec)
+        name = spec.name
+    from repro.traces.analysis import characterize
+    from repro.traces.stats import measure
+
+    stats = measure(name, trace)
+    character = characterize(trace)
+    rows = [{"metric": k, "value": v} for k, v in stats.row().items()]
+    rows += [{"metric": k, "value": v} for k, v in character.row().items()]
+    print(format_table(rows, title=f"trace character: {name}"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.results_io import load_results_json
+
+    results = load_results_json(args.input)
+    table = [
+        {"trace": r.trace, "ftl": r.ftl, "mean_ms": r.mean_response_ms,
+         "p99_ms": r.p99_response_ms, "sdrpp": r.sdrpp, **r.extras}
+        for r in results
+    ]
+    print(format_table(table, title=f"{len(results)} results from {args.input}"))
+    from repro.experiments.figures import detect_axis, render_figure, summarize_wins
+
+    try:
+        detect_axis(results)
+    except ValueError:
+        means = {f"{r.trace}/{r.ftl}": r.mean_response_ms for r in results}
+        print()
+        print(hbar_chart(means, title="mean response time", unit=" ms"))
+    else:
+        print()
+        print(render_figure(results, title="figure shape (sparklines per trace)"))
+        print()
+        print(summarize_wins(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="DLOOP reproduction: simulate FTLs, generate traces, run paper sweeps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one trace through one FTL")
+    sim.add_argument("--ftl", choices=available_ftls(), default="dloop")
+    sim.add_argument("--trace", help="replay a trace file (.spc/.csv or DiskSim ASCII)")
+    sim.add_argument("--cmt-entries", type=int, default=4096)
+    sim.add_argument("--gc-threshold", type=int, default=3)
+    sim.add_argument("--precondition", type=float, default=0.75,
+                     help="pre-fill fraction (0 disables)")
+    sim.add_argument("--json", help="save the result to a JSON file")
+    sim.add_argument("--config", help="load geometry/FTL settings from a JSON config file")
+    sim.add_argument("--iodepth", type=int, default=0,
+                     help="closed-loop mode: keep N requests outstanding and report IOPS")
+    _add_geometry_args(sim)
+    _add_workload_args(sim)
+    sim.set_defaults(func=cmd_simulate)
+
+    gen = sub.add_parser("tracegen", help="generate a synthetic trace file")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--format", choices=("spc", "disksim"), default="spc")
+    _add_workload_args(gen)
+    gen.set_defaults(func=cmd_tracegen)
+
+    sweep = sub.add_parser("sweep", help="regenerate a paper figure grid")
+    sweep.add_argument("--figure", type=int, choices=(8, 9, 10), required=True)
+    sweep.add_argument("--scale", type=float, default=1 / 32)
+    sweep.add_argument("--requests", type=int, default=4000)
+    sweep.add_argument("--traces", nargs="*", choices=PAPER_TRACE_NAMES, default=None)
+    sweep.add_argument("--out", help="save results (.csv or .json)")
+    sweep.set_defaults(func=cmd_sweep)
+
+    stats = sub.add_parser("trace-stats", help="characterise a trace (Table II + locality metrics)")
+    stats.add_argument("--trace", help="analyse a trace file instead of a synthetic workload")
+    _add_workload_args(stats)
+    stats.set_defaults(func=cmd_trace_stats)
+
+    rep = sub.add_parser("report", help="render saved results")
+    rep.add_argument("--input", required=True)
+    rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""SSD controller layer: request admission, page splitting, statistics."""
+
+from repro.controller.controller import Controller, RequestStats
+from repro.controller.device import SimulatedSSD
+from repro.controller.writebuffer import WriteBuffer
+from repro.controller.background import BackgroundGc
+from repro.controller.closedloop import ClosedLoopDriver, ClosedLoopResult, ops_from_spec
+
+__all__ = [
+    "Controller",
+    "RequestStats",
+    "SimulatedSSD",
+    "WriteBuffer",
+    "BackgroundGc",
+    "ClosedLoopDriver",
+    "ClosedLoopResult",
+    "ops_from_spec",
+]

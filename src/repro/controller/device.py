@@ -1,0 +1,150 @@
+"""SimulatedSSD: the public facade tying engine + controller + FTL together.
+
+This is the object examples and the experiment harness interact with:
+construct it from a geometry/timing/FTL name, feed it byte-addressed or
+page-addressed requests (or a whole trace), and read the metrics off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.controller.controller import Controller, RequestStats
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.ftl.base import Ftl
+from repro.ftl.registry import create_ftl
+from repro.sim.engine import Engine
+from repro.sim.request import IoOp, IoRequest
+
+
+class SimulatedSSD:
+    """A complete simulated flash SSD with a pluggable FTL."""
+
+    def __init__(
+        self,
+        geometry: Optional[SSDGeometry] = None,
+        timing: Optional[TimingParams] = None,
+        *,
+        ftl: str = "dloop",
+        write_buffer_pages: Optional[int] = None,
+        background_gc: bool = False,
+        telemetry_interval_us: Optional[float] = None,
+        **ftl_kwargs,
+    ):
+        self.geometry = geometry if geometry is not None else SSDGeometry()
+        self.timing = timing if timing is not None else TimingParams()
+        self.engine = Engine()
+        if isinstance(ftl, Ftl):
+            self.ftl: Ftl = ftl
+        else:
+            self.ftl = create_ftl(ftl, self.geometry, self.timing, **ftl_kwargs)
+        self.write_buffer = None
+        backend = self.ftl
+        if write_buffer_pages is not None:
+            from repro.controller.writebuffer import WriteBuffer
+
+            self.write_buffer = WriteBuffer(self.ftl, write_buffer_pages)
+            backend = self.write_buffer
+        self.controller = Controller(self.engine, self.ftl, backend)
+        self.background_gc = None
+        if background_gc:
+            from repro.controller.background import BackgroundGc
+
+            self.background_gc = BackgroundGc(self.engine, self.ftl, self.controller)
+        self.telemetry = None
+        if telemetry_interval_us is not None:
+            from repro.metrics.timeseries import TelemetrySampler
+
+            self._sampler = TelemetrySampler(
+                self.engine, self.ftl, self.controller, telemetry_interval_us
+            )
+            self.telemetry = self._sampler.telemetry
+
+    # ---- request construction -----------------------------------------------
+
+    def page_request(self, arrival_us: float, start_lpn: int, page_count: int, op: IoOp) -> IoRequest:
+        return IoRequest(arrival_us, start_lpn, page_count, op)
+
+    def byte_request(self, arrival_us: float, offset_bytes: int, size_bytes: int, op: IoOp) -> IoRequest:
+        """Page-align a byte-addressed request (pads head and tail)."""
+        if size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        page = self.geometry.page_size
+        first = offset_bytes // page
+        last = (offset_bytes + size_bytes - 1) // page
+        return IoRequest(arrival_us, first, last - first + 1, op)
+
+    # ---- running -----------------------------------------------------------------
+
+    def submit(self, request: IoRequest) -> None:
+        self.controller.submit(request)
+
+    def run(self, requests: Iterable[IoRequest] = (), until: Optional[float] = None) -> float:
+        """Submit ``requests`` and run the simulation to completion."""
+        for request in requests:
+            self.submit(request)
+        return self.engine.run(until=until)
+
+    # ---- preconditioning ------------------------------------------------------
+
+    def precondition(self, fill_fraction: float = 0.9, *, stride: int = 1) -> None:
+        """Age the device: sequentially write a fraction of the logical space.
+
+        Standard SSD evaluation methodology — a factory-fresh device
+        never garbage-collects, so experiments that exercise GC first
+        fill the drive.  Timing and counters are reset afterwards so
+        measurements reflect only the trace (mapping caches stay warm).
+        """
+        if not 0.0 < fill_fraction <= 1.0:
+            raise ValueError("fill_fraction must be in (0, 1]")
+        num_lpns = self.geometry.num_lpns
+        count = int(num_lpns * fill_fraction)
+        if stride == 1:
+            self.ftl.bulk_fill(count)
+        else:
+            for lpn in range(0, count * stride, stride):
+                self.ftl.write_page(lpn % num_lpns, 0.0)
+        self.reset_measurements()
+
+    def reset_measurements(self) -> None:
+        """Zero timing/counters; keep flash state and mapping caches."""
+        self.ftl.clock.reset_measurements()
+        from repro.ftl.gcontrol import GcStats
+
+        self.ftl.gc_stats = GcStats()
+        self.controller.stats = RequestStats()
+
+    # ---- results -----------------------------------------------------------------
+
+    @property
+    def stats(self) -> RequestStats:
+        return self.controller.stats
+
+    @property
+    def counters(self):
+        return self.ftl.clock.counters
+
+    def mean_response_ms(self) -> float:
+        return self.stats.mean_response_ms()
+
+    def power_cycle(self) -> int:
+        """Simulate power loss + recovery: volatile state is lost, the
+        mapping is rebuilt from flash metadata.  Returns the number of
+        recovered mappings.  (An unflushed write buffer is lost data —
+        flush first if that matters to the experiment.)"""
+        if self.write_buffer is not None:
+            self.write_buffer._dirty.clear()
+        recovered = self.ftl.rebuild_mapping()
+        self.ftl.clock.reset_measurements()
+        return recovered
+
+    def flush(self) -> float:
+        """Drain the write buffer (no-op without one)."""
+        if self.write_buffer is None:
+            return self.engine.now
+        return self.write_buffer.flush(self.engine.now)
+
+    def verify(self) -> None:
+        """Run the FTL's full integrity check."""
+        self.ftl.verify_integrity()

@@ -1,0 +1,307 @@
+"""DLOOP: Data Log On One Plane (Section III).
+
+Key behaviours, each tied to the paper:
+
+* **Striping** — a page's home plane is ``LPN % num_planes`` (Eq. 1),
+  for data and translation pages alike, so sequential requests fan out
+  over planes/channels and mapping lookups are served by all planes.
+* **Logs on the data's plane** — updates are written to the *current
+  free block* of the original page's plane (Section III.B), so every
+  valid-page move during GC stays intra-plane.
+* **Copy-back GC** — the victim is the plane's block with the most
+  invalid pages; valid pages move by copy-back under the same-parity
+  rule, wasting a free page when parities disagree (Fig. 5).
+* **Demand-paged mapping** — CMT (segmented LRU) + GTD exactly as DFTL,
+  but translation pages are striped by ``tvpn % num_planes`` instead of
+  pinned to one plane.
+"""
+
+from __future__ import annotations
+
+from repro.flash.address import decode_translation_owner, is_translation_owner
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.ftl.allocator import PlaneAllocator
+from repro.flash.array import FlashStateError
+from repro.ftl.base import Ftl, OutOfSpaceError
+from repro.ftl.cmt import CachedMappingTable
+from repro.ftl.gtd import GlobalTranslationDirectory
+from repro.ftl.translation import TranslationManager
+
+
+class DloopFtl(Ftl):
+    """The paper's plane-parallel page-mapping FTL."""
+
+    name = "dloop"
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        timing: TimingParams | None = None,
+        *,
+        cmt_entries: int = 4096,
+        gc_threshold: int = 3,
+        max_gc_passes: int = 8,
+        use_copyback: bool = True,
+        gc_victim_policy: str = "greedy",
+        translation_gc_mode: str = "batched",
+        debug_checks: bool = False,
+    ):
+        super().__init__(
+            geometry,
+            timing,
+            gc_threshold=gc_threshold,
+            max_gc_passes=max_gc_passes,
+            gc_victim_policy=gc_victim_policy,
+            debug_checks=debug_checks,
+        )
+        self.num_planes = geometry.num_planes
+        self.allocators = [PlaneAllocator(p, self.array) for p in range(self.num_planes)]
+        self.cmt = CachedMappingTable(cmt_entries)
+        self.gtd = GlobalTranslationDirectory(geometry.num_lpns, geometry.page_size)
+        # use_copyback=False is the A1 ablation: identical placement,
+        # but GC moves pages through the controller like everyone else.
+        self.use_copyback = use_copyback
+        self.tm = TranslationManager(
+            array=self.array,
+            clock=self.clock,
+            cmt=self.cmt,
+            gtd=self.gtd,
+            plane_of_tvpn=self.plane_of_tvpn,
+            allocator_of_plane=lambda plane: self.allocators[plane],
+            gc_hook=self._maybe_gc,
+            gc_mode=translation_gc_mode,
+            fallback_allocator=self._fallback_allocator,
+        )
+
+    def _fallback_allocator(self):
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        return self.allocators[max(range(self.num_planes), key=lambda p: counts[p])]
+
+    # ---- allocator hooks (overridden by the hot/cold variant) -----------------
+
+    def _host_allocator(self, plane: int, lpn: int) -> PlaneAllocator:
+        """Write point for a host write of ``lpn`` on ``plane``."""
+        return self.allocators[plane]
+
+    def _gc_destination_allocator(self, plane: int) -> PlaneAllocator:
+        """Write point for GC-relocated pages on ``plane``."""
+        return self.allocators[plane]
+
+    # ---- placement policy (Eq. 1) -------------------------------------------
+
+    def plane_of_lpn(self, lpn: int) -> int:
+        return lpn % self.num_planes
+
+    def plane_of_tvpn(self, tvpn: int) -> int:
+        return tvpn % self.num_planes
+
+    # ---- host interface -------------------------------------------------------
+
+    def read_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_reads += 1
+        t = self.tm.charge_lookup(lpn, start)
+        ppn = self.current_ppn(lpn)
+        if ppn == -1:
+            # Never-written page: nothing on flash to read.
+            self.stats.unmapped_reads += 1
+            return t
+        t = self.clock.read_page(self.codec.ppn_to_plane(ppn), t)
+        self._maybe_debug_check()
+        return t
+
+    def write_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_writes += 1
+        plane = self.plane_of_lpn(lpn)
+        t = self.tm.charge_lookup(lpn, start)
+        # Reclaim space *before* taking a page so the pool never empties
+        # under the incoming write.
+        t = self._maybe_gc(plane, t)
+        old_ppn = self.current_ppn(lpn)
+        try:
+            new_ppn = self._host_allocator(plane, lpn).allocate(lpn)
+        except FlashStateError as exc:
+            raise OutOfSpaceError(
+                f"plane {plane}: cannot place write for lpn {lpn} — device full"
+            ) from exc
+        t = self.clock.program_page(plane, t)
+        if old_ppn != -1:
+            self.array.invalidate(old_ppn)
+        self.page_table[lpn] = new_ppn
+        t = self.tm.charge_update(lpn, t)
+        t = self._maybe_gc(plane, t)
+        self._maybe_debug_check()
+        return t
+
+    # ---- preconditioning --------------------------------------------------------
+
+    def bulk_fill(self, count: int) -> None:
+        """Vectorised sequential fill: Eq. 1 striping, whole blocks at a time."""
+        import numpy as np
+
+        ppb = self.geometry.pages_per_block
+        for plane in range(self.num_planes):
+            lpns = np.arange(plane, count, self.num_planes, dtype=np.int64)
+            full = (len(lpns) // ppb) * ppb
+            for start in range(0, full, ppb):
+                block = self.array.allocate_block(plane)
+                ppns = self.array.bulk_fill_block(block, lpns[start : start + ppb])
+                self.page_table[lpns[start : start + ppb]] = ppns
+        # the striped tails go through the normal write path
+        for plane in range(self.num_planes):
+            lpns = np.arange(plane, count, self.num_planes, dtype=np.int64)
+            full = (len(lpns) // ppb) * ppb
+            for lpn in lpns[full:]:
+                self.write_page(int(lpn), 0.0)
+        # materialise the translation pages covering the filled range so
+        # demand paging starts from a realistic aged state
+        if count > 0:
+            for tvpn in range(self.gtd.tvpn_of(count - 1) + 1):
+                self.tm.write_back(tvpn, 0.0)
+
+    def trim_page(self, lpn: int, start: float) -> float:
+        before = self.stats.host_trims
+        t = super().trim_page(lpn, start)
+        if self.stats.host_trims > before:
+            # the cleared mapping must eventually persist to its
+            # translation page, like any other mapping update
+            t = self.tm.charge_update(lpn, t)
+        return t
+
+    # ---- garbage collection (Section III.C, Fig. 5) ------------------------------
+
+    def _gc_exclude(self, plane: int) -> set:
+        return (
+            self.allocators[plane].active_blocks()
+            | self._gc_destination_allocator(plane).active_blocks()
+        )
+
+    def _gc_close_active(self, plane: int):
+        allocator = self.allocators[plane]
+        block = allocator.current_block
+        if block is None or self.array.block_invalid[block] == 0:
+            return None
+        allocator.current_block = None
+        return block
+
+    def _gc_max_valid(self, plane: int):
+        """Victims must fit the plane's own space (GC stays intra-plane).
+
+        One free block is held back for the pass's translation
+        write-backs.  Parity-minimising move ordering keeps same-parity
+        waste near the even/odd imbalance (paper: "rarely happens"), so
+        the bound is the raw space; if waste still overruns it mid-pass,
+        ``_collect`` degrades the remaining moves to cross-plane
+        controller copies instead of failing.
+        """
+        allocator = self._gc_destination_allocator(plane)
+        current_free = (
+            self.array.block_free_pages(allocator.current_block)
+            if allocator.current_block is not None
+            else 0
+        )
+        ppb = self.geometry.pages_per_block
+        avail = current_free + max(0, self.array.free_block_count(plane) - 1) * ppb
+        # Allow for parity waste up to ~half the moves; overruns degrade
+        # gracefully to cross-plane controller copies in _collect.
+        return (avail * 2) // 3 if self.use_copyback else avail
+
+    def _collect(self, plane: int, victim: int, now: float) -> float:
+        """Reclaim one victim block; returns time after the erase."""
+        t = now
+        allocator = self._gc_destination_allocator(plane)
+        moved_data = []
+        valids = list(self.array.valid_pages_in_block(victim))
+        if self.use_copyback:
+            from repro.ftl.gcontrol import parity_minimizing_order
+
+            # Lazy: the generator re-reads the destination offset after
+            # each allocation so parities interleave correctly.
+            valids = parity_minimizing_order(valids, self.codec, allocator)
+        overflow = False  # plane space exhausted mid-pass: degrade moves
+        for ppn in valids:
+            owner = self.array.owner_of(ppn)
+            if overflow:
+                new_ppn = self._gc_alloc_any(owner)
+                t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                self.gc_stats.controller_moves += 1
+            elif self.use_copyback:
+                parity = self.codec.page_parity(ppn)
+                try:
+                    new_ppn, skipped = allocator.allocate_with_parity(owner, parity)
+                except FlashStateError:
+                    overflow = True
+                    new_ppn = self._gc_alloc_any(owner)
+                    t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                    self.gc_stats.controller_moves += 1
+                else:
+                    self.gc_stats.wasted_pages += skipped
+                    self.clock.counters.skipped_pages += skipped
+                    t = self.clock.copy_back(plane, t)
+                    self.gc_stats.copyback_moves += 1
+            else:
+                try:
+                    new_ppn = allocator.allocate(owner)
+                except FlashStateError:
+                    overflow = True
+                    new_ppn = self._gc_alloc_any(owner)
+                t = self.clock.inter_plane_copy(plane, plane, t)
+                self.gc_stats.controller_moves += 1
+            self.array.invalidate(ppn)
+            self.gc_stats.moved_pages += 1
+            if is_translation_owner(owner):
+                # Relocating a translation page only touches the SRAM GTD.
+                self.gtd.update(decode_translation_owner(owner), new_ppn)
+            else:
+                self.page_table[owner] = new_ppn
+                moved_data.append((owner, new_ppn))
+        # Erase before the translation write-backs: the pool is at its
+        # low-water mark here, and the write-backs themselves consume pages.
+        t = self.clock.erase_block(plane, t)
+        self.array.erase(victim)
+        self.array.release_block(victim)
+        self.gc_stats.erased_blocks += 1
+        if moved_data:
+            before = self.tm.stats.gc_batched_updates
+            t = self.tm.gc_update_mappings(moved_data, t)
+            self.gc_stats.translation_updates += self.tm.stats.gc_batched_updates - before
+        return t
+
+    # ---- emergency relocation hooks -----------------------------------------------
+
+    def _gc_alloc_any(self, owner: int) -> int:
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        dst = max(range(self.num_planes), key=lambda p: counts[p])
+        try:
+            return self.allocators[dst].allocate(owner)
+        except FlashStateError as exc:
+            raise OutOfSpaceError("no plane can absorb relocated pages — device full") from exc
+
+    def _gc_note_move(self, owner: int, new_ppn: int, moved_data: list) -> None:
+        if is_translation_owner(owner):
+            self.gtd.update(decode_translation_owner(owner), new_ppn)
+        else:
+            super()._gc_note_move(owner, new_ppn, moved_data)
+
+    def _gc_mapping_updates(self, moved_data: list, now: float) -> float:
+        return self.tm.gc_update_mappings(moved_data, now) if moved_data else now
+
+    # ---- integrity -------------------------------------------------------------------
+
+    def _rebuild_extra_state(self, translation_ppns, translation_owners) -> None:
+        """Recover the GTD from on-flash translation pages and drop the
+        (volatile) CMT — the demand-paged state a power cycle loses."""
+        for ppn, owner in zip(translation_ppns, translation_owners):
+            self.gtd.update(decode_translation_owner(int(owner)), int(ppn))
+        from repro.ftl.cmt import CachedMappingTable
+
+        self.cmt = CachedMappingTable(self.cmt.capacity)
+        self.tm.cmt = self.cmt
+
+    def extra_integrity_checks(self, translation_ppns, translation_owners) -> None:
+        for ppn, owner in zip(translation_ppns, translation_owners):
+            tvpn = decode_translation_owner(int(owner))
+            if self.gtd.lookup(tvpn) != ppn:
+                raise AssertionError(f"GTD stale for tvpn {tvpn}: {self.gtd.lookup(tvpn)} != {ppn}")

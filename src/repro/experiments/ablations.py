@@ -1,0 +1,212 @@
+"""Ablations A1-A4 (DESIGN.md section 3).
+
+A1  copy-back on/off inside DLOOP — isolates the paper's headline
+    mechanism from its placement policy.
+A2  striping policy — Eq. 1's ``LPN % planes`` against DFTL-style
+    roaming and uniform-random placement, on the ideal page-map FTL so
+    mapping-cache effects don't confound the comparison.
+A3  sensitivity — GC threshold and CMT size.
+A4  hot-plane extra-block assignment (the paper's future work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.config import DEFAULT_SCALE, ExperimentConfig, GB, scaled_geometry
+from repro.experiments.runner import SimulationResult, run_workload
+from repro.traces.synthetic import make_workload
+
+DEFAULT_CAPACITY_GB = 2
+
+
+def _spec(trace: str, num_requests: int, scale: float, footprint_fraction: float):
+    footprint = int(DEFAULT_CAPACITY_GB * GB * scale * footprint_fraction)
+    return make_workload(trace, num_requests=num_requests, footprint_bytes=footprint)
+
+
+def run_copyback_ablation(
+    *,
+    traces: Iterable[str] = ("tpcc", "build"),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """A1: DLOOP with and without intra-plane copy-back."""
+    geometry = scaled_geometry(DEFAULT_CAPACITY_GB, scale=scale)
+    results = []
+    for trace in traces:
+        spec = _spec(trace, num_requests, scale, footprint_fraction)
+        for use_copyback in (True, False):
+            config = ExperimentConfig(
+                geometry=geometry,
+                ftl="dloop",
+                precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+                ftl_kwargs={"use_copyback": use_copyback},
+            )
+            result = run_workload(spec, config)
+            result.extras["use_copyback"] = use_copyback
+            results.append(result)
+    return results
+
+
+def run_striping_ablation(
+    *,
+    traces: Iterable[str] = ("financial1",),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """A2: placement policy on the ideal page-map FTL."""
+    geometry = scaled_geometry(DEFAULT_CAPACITY_GB, scale=scale)
+    results = []
+    for trace in traces:
+        spec = _spec(trace, num_requests, scale, footprint_fraction)
+        for striping in ("lpn", "roaming", "random"):
+            config = ExperimentConfig(
+                geometry=geometry,
+                ftl="pagemap",
+                precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+                ftl_kwargs={"striping": striping},
+            )
+            result = run_workload(spec, config)
+            result.extras["striping"] = striping
+            results.append(result)
+    return results
+
+
+def run_sensitivity_ablation(
+    *,
+    trace: str = "financial1",
+    gc_thresholds: Iterable[int] = (2, 3, 5, 8),
+    cmt_sizes: Iterable[int] = (512, 2048, 4096, 16384),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """A3: DLOOP sensitivity to GC threshold and CMT capacity."""
+    geometry = scaled_geometry(DEFAULT_CAPACITY_GB, scale=scale)
+    spec = _spec(trace, num_requests, scale, footprint_fraction)
+    results = []
+    for threshold in gc_thresholds:
+        config = ExperimentConfig(
+            geometry=geometry,
+            ftl="dloop",
+            gc_threshold=threshold,
+            precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+        )
+        result = run_workload(spec, config)
+        result.extras["knob"] = "gc_threshold"
+        result.extras["value"] = threshold
+        results.append(result)
+    for cmt in cmt_sizes:
+        config = ExperimentConfig(
+            geometry=geometry,
+            ftl="dloop",
+            cmt_entries=cmt,
+            precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+        )
+        result = run_workload(spec, config)
+        result.extras["knob"] = "cmt_entries"
+        result.extras["value"] = cmt
+        results.append(result)
+    return results
+
+
+def run_hotplane_ablation(
+    *,
+    traces: Iterable[str] = ("financial1", "tpcc"),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+    extra_blocks_percent: float = 5.0,
+) -> List[SimulationResult]:
+    """A4: uniform DLOOP vs hot-plane-aware extra-block assignment."""
+    geometry = scaled_geometry(
+        DEFAULT_CAPACITY_GB, scale=scale, extra_blocks_percent=extra_blocks_percent
+    )
+    results = []
+    for trace in traces:
+        spec = _spec(trace, num_requests, scale, footprint_fraction)
+        for ftl in ("dloop", "dloop-hot"):
+            config = ExperimentConfig(
+                geometry=geometry, ftl=ftl, precondition_fill=min(0.9, precondition_margin * footprint_fraction)
+            )
+            result = run_workload(spec, config)
+            results.append(result)
+    return results
+
+
+def run_victim_policy_ablation(
+    *,
+    trace: str = "tpcc",
+    policies: Iterable[str] = ("greedy", "cost-benefit", "fifo", "random"),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """A6: GC victim-selection policy on DLOOP.
+
+    The paper fixes greedy (most-invalid, Section III.C); this ablation
+    quantifies what cost-benefit / FIFO / random selection would change
+    under the same striped placement.
+    """
+    geometry = scaled_geometry(DEFAULT_CAPACITY_GB, scale=scale)
+    spec = _spec(trace, num_requests, scale, footprint_fraction)
+    results = []
+    for policy in policies:
+        config = ExperimentConfig(
+            geometry=geometry,
+            ftl="dloop",
+            precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+            ftl_kwargs={"gc_victim_policy": policy},
+        )
+        result = run_workload(spec, config)
+        result.extras["policy"] = policy
+        results.append(result)
+    return results
+
+
+def run_channel_sweep(
+    *,
+    trace: str = "tpcc",
+    channel_counts: Iterable[int] = (2, 4, 8, 16),
+    ftls: Iterable[str] = ("dloop", "dftl"),
+    scale: float = DEFAULT_SCALE,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """A9: channel-level parallelism at fixed capacity.
+
+    Section II.C: "increasing the number of channels substantially
+    increases the hardware cost" — the paper's argument for exploiting
+    planes instead.  This sweep varies the channel count at constant
+    capacity and plane count per channel, quantifying what the costly
+    knob buys each FTL.
+    """
+    results = []
+    total_planes = 32  # hold plane count (and per-plane pools) constant:
+    # the sweep isolates *bus* parallelism, not GC granularity
+    for channels in channel_counts:
+        planes_per_die = max(1, total_planes // (channels * 2))
+        geometry = scaled_geometry(
+            DEFAULT_CAPACITY_GB, scale=scale, channels=channels, planes_per_die=planes_per_die
+        )
+        footprint = int(DEFAULT_CAPACITY_GB * GB * scale * footprint_fraction)
+        spec = make_workload(trace, num_requests=num_requests, footprint_bytes=footprint)
+        for ftl in ftls:
+            config = ExperimentConfig(
+                geometry=geometry,
+                ftl=ftl,
+                precondition_fill=min(0.9, precondition_margin * footprint_fraction),
+            )
+            result = run_workload(spec, config)
+            result.extras["channels"] = channels
+            results.append(result)
+    return results

@@ -1,0 +1,60 @@
+"""Fig. 10 — the impact of the percentage of extra blocks (3/5/7/10 %).
+
+Extra blocks are the over-provisioning pool that absorbs updates and
+feeds merges/GC (Section III.C).  For FAST the same budget provisions
+its log blocks, which is why more extra blocks helps it most.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.config import DEFAULT_SCALE, ExperimentConfig, GB, scaled_geometry
+from repro.experiments.runner import SimulationResult, run_workload
+from repro.traces.synthetic import PAPER_TRACE_NAMES, make_workload
+
+EXTRA_BLOCK_PERCENTS = (3, 5, 7, 10)
+DEFAULT_FTLS = ("dloop", "dftl", "fast")
+FIXED_CAPACITY_GB = 8
+
+
+def run_extrablocks_sweep(
+    *,
+    percents: Iterable[float] = EXTRA_BLOCK_PERCENTS,
+    ftls: Iterable[str] = DEFAULT_FTLS,
+    traces: Iterable[str] = PAPER_TRACE_NAMES,
+    scale: float = DEFAULT_SCALE,
+    capacity_gb: float = FIXED_CAPACITY_GB,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+) -> List[SimulationResult]:
+    """Run the Fig. 10 grid; one result per (trace, ftl, extra-block %)."""
+    footprint = int(capacity_gb * GB * scale * footprint_fraction)
+    results: List[SimulationResult] = []
+    for trace_name in traces:
+        spec = make_workload(trace_name, num_requests=num_requests, footprint_bytes=footprint)
+        for percent in percents:
+            geometry = scaled_geometry(
+                capacity_gb, scale=scale, extra_blocks_percent=percent
+            )
+            for ftl in ftls:
+                fill = min(0.9, precondition_margin * footprint / geometry.capacity_bytes)
+                config = ExperimentConfig(geometry=geometry, ftl=ftl, precondition_fill=fill)
+                result = run_workload(spec, config)
+                result.extras["extra_blocks_percent"] = percent
+                results.append(result)
+    return results
+
+
+def rows(results: List[SimulationResult]) -> List[dict]:
+    return [
+        {
+            "trace": r.trace,
+            "ftl": r.ftl,
+            "extra_%": r.extras["extra_blocks_percent"],
+            "mean_ms": r.mean_response_ms,
+            "sdrpp": r.sdrpp,
+        }
+        for r in results
+    ]

@@ -1,0 +1,100 @@
+"""Render saved sweep results as terminal "figures".
+
+The paper plots mean response time and SDRPP as grouped series per
+trace; with no plotting stack offline, these helpers lay the same
+series out as sparkline charts and grouped tables from a list of
+:class:`SimulationResult` (fresh or loaded via ``results_io``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import SimulationResult
+from repro.metrics.ascii_chart import series_chart
+from repro.metrics.report import format_table
+
+#: extras key per figure family -> x axis label
+AXIS_KEYS = ("capacity_gb", "page_size_kb", "extra_blocks_percent")
+
+
+def detect_axis(results: Sequence[SimulationResult]) -> str:
+    """Which sweep axis the results vary (from their extras)."""
+    for key in AXIS_KEYS:
+        values = {r.extras.get(key) for r in results}
+        if len(values - {None}) > 1:
+            return key
+    raise ValueError(f"results carry no recognised sweep axis ({AXIS_KEYS})")
+
+
+def figure_series(
+    results: Sequence[SimulationResult], metric: str = "mean_response_ms"
+) -> Dict[str, Dict[str, List[float]]]:
+    """``{trace: {ftl: [metric per axis point]}}`` sorted by the axis."""
+    axis = detect_axis(results)
+    cells: Dict[tuple, SimulationResult] = {}
+    for r in results:
+        cells[(r.trace, r.ftl, r.extras[axis])] = r
+    traces = sorted({r.trace for r in results})
+    ftls = sorted({r.ftl for r in results})
+    points = sorted({r.extras[axis] for r in results})
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for trace in traces:
+        out[trace] = {}
+        for ftl in ftls:
+            series = []
+            for point in points:
+                cell = cells.get((trace, ftl, point))
+                if cell is not None:
+                    series.append(getattr(cell, metric))
+            if series:
+                out[trace][ftl] = series
+    return out
+
+
+def render_figure(
+    results: Sequence[SimulationResult],
+    *,
+    metric: str = "mean_response_ms",
+    title: str | None = None,
+) -> str:
+    """Sparkline panel per trace — the shape of the paper's figure."""
+    axis = detect_axis(results)
+    points = sorted({r.extras[axis] for r in results})
+    blocks = [title] if title else []
+    for trace, by_ftl in figure_series(results, metric).items():
+        blocks.append(
+            series_chart(by_ftl, x_labels=points, title=f"[{trace}] {metric} vs {axis}")
+        )
+    return "\n\n".join(blocks)
+
+
+def render_table(results: Sequence[SimulationResult], *, title: str | None = None) -> str:
+    """The figure's underlying numbers as a grouped table."""
+    axis = detect_axis(results)
+    rows = [
+        {
+            "trace": r.trace,
+            "ftl": r.ftl,
+            axis: r.extras[axis],
+            "mean_ms": r.mean_response_ms,
+            "sdrpp": r.sdrpp,
+        }
+        for r in sorted(results, key=lambda r: (r.trace, str(r.extras[axis]), r.ftl))
+    ]
+    return format_table(rows, title=title)
+
+
+def summarize_wins(results: Sequence[SimulationResult], winner: str = "dloop") -> dict:
+    """Count cells where ``winner`` has the lowest mean response time."""
+    axis = detect_axis(results)
+    groups: Dict[tuple, list] = defaultdict(list)
+    for r in results:
+        groups[(r.trace, r.extras[axis])].append(r)
+    wins = total = 0
+    for cell in groups.values():
+        best = min(cell, key=lambda r: r.mean_response_ms)
+        total += 1
+        wins += best.ftl == winner
+    return {"winner": winner, "wins": wins, "cells": total}

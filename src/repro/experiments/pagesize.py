@@ -1,0 +1,65 @@
+"""Fig. 9 — the impact of page size (2/4/8/16 KB at a fixed capacity).
+
+The paper keeps an 8 GB SSD and varies the flash page size.  Larger
+pages mean fewer pages per request (mean response time falls) but
+coarser update granularity.  Requests are always page-aligned, so the
+same byte-addressed trace exercises every page size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.config import DEFAULT_SCALE, ExperimentConfig, GB, KB, scaled_geometry
+from repro.experiments.runner import SimulationResult, run_workload
+from repro.traces.synthetic import PAPER_TRACE_NAMES, make_workload
+
+PAGE_SIZES_KB = (2, 4, 8, 16)
+DEFAULT_FTLS = ("dloop", "dftl", "fast")
+FIXED_CAPACITY_GB = 8
+
+
+def run_pagesize_sweep(
+    *,
+    page_sizes_kb: Iterable[int] = PAGE_SIZES_KB,
+    ftls: Iterable[str] = DEFAULT_FTLS,
+    traces: Iterable[str] = PAPER_TRACE_NAMES,
+    scale: float = DEFAULT_SCALE,
+    capacity_gb: float = FIXED_CAPACITY_GB,
+    num_requests: int = 6000,
+    footprint_fraction: float = 0.45,
+    precondition_margin: float = 1.15,
+    extra_blocks_percent: float = 3.0,
+) -> List[SimulationResult]:
+    """Run the Fig. 9 grid; one result per (trace, ftl, page size)."""
+    footprint = int(capacity_gb * GB * scale * footprint_fraction)
+    results: List[SimulationResult] = []
+    for trace_name in traces:
+        spec = make_workload(trace_name, num_requests=num_requests, footprint_bytes=footprint)
+        for page_kb in page_sizes_kb:
+            geometry = scaled_geometry(
+                capacity_gb,
+                scale=scale,
+                page_size=page_kb * KB,
+                extra_blocks_percent=extra_blocks_percent,
+            )
+            for ftl in ftls:
+                fill = min(0.9, precondition_margin * footprint / geometry.capacity_bytes)
+                config = ExperimentConfig(geometry=geometry, ftl=ftl, precondition_fill=fill)
+                result = run_workload(spec, config)
+                result.extras["page_size_kb"] = page_kb
+                results.append(result)
+    return results
+
+
+def rows(results: List[SimulationResult]) -> List[dict]:
+    return [
+        {
+            "trace": r.trace,
+            "ftl": r.ftl,
+            "page_kb": r.extras["page_size_kb"],
+            "mean_ms": r.mean_response_ms,
+            "sdrpp": r.sdrpp,
+        }
+        for r in results
+    ]

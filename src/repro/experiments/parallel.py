@@ -1,0 +1,72 @@
+"""Parallel sweep execution over worker processes.
+
+The figure grids are embarrassingly parallel (one simulation per cell),
+so the harness can fan out over a ``multiprocessing`` pool.  Cells are
+described by picklable (spec, config) pairs; each worker builds its own
+simulator, so no state is shared.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SimulationResult, run_workload
+from repro.traces.model import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One simulation of a sweep grid."""
+
+    spec: WorkloadSpec
+    config: ExperimentConfig
+    extras: Optional[Tuple[Tuple[str, object], ...]] = None
+
+    def tagged_extras(self) -> Dict[str, object]:
+        return dict(self.extras or ())
+
+
+def _run_cell(cell: SweepCell) -> SimulationResult:
+    result = run_workload(cell.spec, cell.config)
+    result.extras.update(cell.tagged_extras())
+    return result
+
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    *,
+    processes: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[SimulationResult]:
+    """Run sweep cells, in-process when ``processes`` is None/0/1.
+
+    Results come back in cell order regardless of completion order.
+    """
+    cells = list(cells)
+    if processes is None:
+        processes = min(len(cells), os.cpu_count() or 1)
+    if processes <= 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
+    context = get_context("spawn" if os.name == "nt" else "fork")
+    with context.Pool(processes=processes) as pool:
+        return pool.map(_run_cell, cells, chunksize=chunksize)
+
+
+def grid(
+    specs: Sequence[WorkloadSpec],
+    configs: Sequence[ExperimentConfig],
+    extras_for: Optional[Dict[int, Dict[str, object]]] = None,
+) -> List[SweepCell]:
+    """Cartesian product of workloads x configurations."""
+    cells = []
+    index = 0
+    for spec in specs:
+        for config in configs:
+            extra = tuple((extras_for or {}).get(index, {}).items())
+            cells.append(SweepCell(spec=spec, config=config, extras=extra or None))
+            index += 1
+    return cells

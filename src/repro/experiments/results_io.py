@@ -1,0 +1,128 @@
+"""Result persistence: SimulationResult <-> JSON / CSV.
+
+Sweeps are expensive; persisting results lets the report/plot step
+re-run without re-simulating, and lets CI archive the regenerated
+figures next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, List, TextIO, Union
+
+import numpy as np
+
+from repro.experiments.runner import SimulationResult
+from repro.metrics.wear import WearStats
+
+Sink = Union[str, TextIO]
+
+_SCALAR_FIELDS = [
+    "ftl",
+    "trace",
+    "mean_response_ms",
+    "steady_response_ms",
+    "read_response_ms",
+    "write_response_ms",
+    "p99_response_ms",
+    "sdrpp",
+    "num_requests",
+    "host_pages_written",
+    "host_pages_read",
+    "gc_invocations",
+    "gc_passes",
+    "gc_moved_pages",
+    "gc_copyback_moves",
+    "gc_controller_moves",
+    "gc_wasted_pages",
+    "gc_translation_updates",
+    "erases",
+    "copybacks",
+    "flash_reads",
+    "flash_programs",
+    "cmt_hit_ratio",
+    "sim_duration_s",
+    "wall_time_s",
+]
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flatten a result into JSON-serialisable primitives."""
+    payload = {name: getattr(result, name) for name in _SCALAR_FIELDS}
+    payload["plane_ops"] = [int(x) for x in result.plane_ops]
+    payload["wear"] = {
+        "total_erases": result.wear.total_erases,
+        "max_erases": result.wear.max_erases,
+        "mean_erases": result.wear.mean_erases,
+        "std_erases": result.wear.std_erases,
+    }
+    payload["extras"] = dict(result.extras)
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    wear = WearStats(**payload["wear"])
+    kwargs = {name: payload[name] for name in _SCALAR_FIELDS}
+    return SimulationResult(
+        plane_ops=np.asarray(payload["plane_ops"], dtype=np.int64),
+        wear=wear,
+        extras=dict(payload.get("extras", {})),
+        **kwargs,
+    )
+
+
+def _open(sink: Sink, mode: str):
+    if isinstance(sink, str):
+        return open(sink, mode, encoding="utf-8", newline="")
+    return sink
+
+
+def save_results_json(results: Iterable[SimulationResult], sink: Sink) -> None:
+    payload = [result_to_dict(r) for r in results]
+    if isinstance(sink, str):
+        with open(sink, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    else:
+        json.dump(payload, sink, indent=2)
+
+
+def load_results_json(source: Sink) -> List[SimulationResult]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return [result_from_dict(item) for item in payload]
+
+
+def save_results_csv(results: Iterable[SimulationResult], sink: Sink) -> None:
+    """Flat CSV: scalar fields + extras columns (no plane vectors)."""
+    results = list(results)
+    extra_keys = sorted({key for r in results for key in r.extras})
+    fieldnames = _SCALAR_FIELDS + [f"extra_{k}" for k in extra_keys]
+    close = isinstance(sink, str)
+    handle = _open(sink, "w")
+    try:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for r in results:
+            row = {name: getattr(r, name) for name in _SCALAR_FIELDS}
+            for k in extra_keys:
+                row[f"extra_{k}"] = r.extras.get(k, "")
+            writer.writerow(row)
+    finally:
+        if close:
+            handle.close()
+
+
+def load_results_csv(source: Sink) -> List[dict]:
+    """CSV rows as dicts (strings; for table/report use)."""
+    close = isinstance(source, str)
+    handle = _open(source, "r")
+    try:
+        return list(csv.DictReader(handle))
+    finally:
+        if close:
+            handle.close()

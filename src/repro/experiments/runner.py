@@ -1,0 +1,142 @@
+"""Run one (FTL, trace, configuration) simulation and gather metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.controller.device import SimulatedSSD
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.sdrpp import sdrpp
+from repro.metrics.wear import WearStats, wear_stats
+from repro.sim.request import IoOp
+from repro.traces.model import TraceRequest
+from repro.traces.synthetic import generate
+from repro.traces.model import WorkloadSpec
+
+
+@dataclass
+class SimulationResult:
+    ftl: str
+    trace: str
+    mean_response_ms: float
+    steady_response_ms: float
+    read_response_ms: float
+    write_response_ms: float
+    p99_response_ms: float
+    sdrpp: float
+    plane_ops: np.ndarray
+    num_requests: int
+    host_pages_written: int
+    host_pages_read: int
+    gc_invocations: int
+    gc_passes: int
+    gc_moved_pages: int
+    gc_copyback_moves: int
+    gc_controller_moves: int
+    gc_wasted_pages: int
+    gc_translation_updates: int
+    erases: int
+    copybacks: int
+    flash_reads: int
+    flash_programs: int
+    cmt_hit_ratio: Optional[float]
+    wear: WearStats
+    sim_duration_s: float
+    wall_time_s: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def write_amplification(self) -> float:
+        """(flash programs + copy-backs + wasted pages) / host pages."""
+        if self.host_pages_written == 0:
+            return 0.0
+        total = self.flash_programs + self.copybacks + self.gc_wasted_pages
+        return total / self.host_pages_written
+
+    def row(self) -> dict:
+        return {
+            "trace": self.trace,
+            "ftl": self.ftl,
+            "mean_ms": self.mean_response_ms,
+            "sdrpp": self.sdrpp,
+        }
+
+
+def _steady_ms(response_us: List[float]) -> float:
+    """Mean response over the detected steady-state region (ms)."""
+    from repro.experiments.steady_state import steady_mean
+
+    if not response_us:
+        return 0.0
+    return steady_mean(response_us) / 1000.0
+
+
+def run_simulation(
+    trace: Iterable[TraceRequest],
+    config: ExperimentConfig,
+    *,
+    trace_name: str = "trace",
+) -> SimulationResult:
+    """Replay a trace through a freshly built (and preconditioned) SSD."""
+    wall_start = time.perf_counter()
+    ssd = SimulatedSSD(config.geometry, config.timing, ftl=config.ftl, **config.build_kwargs())
+    if config.precondition_fill:
+        ssd.precondition(config.precondition_fill)
+
+    capacity = config.geometry.capacity_bytes
+    requests: List = []
+    for r in trace:
+        offset = r.offset_bytes % capacity
+        size = min(r.size_bytes, capacity - offset)
+        op = IoOp.WRITE if r.is_write else IoOp.READ
+        requests.append(ssd.byte_request(r.arrival_us, offset, size, op))
+    end = ssd.run(requests)
+
+    ftl = ssd.ftl
+    stats = ssd.stats
+    counters = ssd.counters
+    cmt_hit = None
+    if hasattr(ftl, "cmt"):
+        cmt_hit = ftl.cmt.stats.hit_ratio
+
+    def ms(values: List[float]) -> float:
+        return float(np.mean(values)) / 1000.0 if values else 0.0
+
+    return SimulationResult(
+        ftl=config.ftl,
+        trace=trace_name,
+        mean_response_ms=stats.mean_response_ms(),
+        steady_response_ms=_steady_ms(stats.response_us),
+        read_response_ms=ms(stats.read_response_us),
+        write_response_ms=ms(stats.write_response_us),
+        p99_response_ms=stats.percentile_us(99) / 1000.0,
+        sdrpp=sdrpp(counters),
+        plane_ops=counters.plane_ops.copy(),
+        num_requests=stats.count,
+        host_pages_written=stats.pages_written,
+        host_pages_read=stats.pages_read,
+        gc_invocations=ftl.gc_stats.invocations,
+        gc_passes=ftl.gc_stats.passes,
+        gc_moved_pages=ftl.gc_stats.moved_pages,
+        gc_copyback_moves=ftl.gc_stats.copyback_moves,
+        gc_controller_moves=ftl.gc_stats.controller_moves,
+        gc_wasted_pages=ftl.gc_stats.wasted_pages,
+        gc_translation_updates=ftl.gc_stats.translation_updates,
+        erases=counters.erases,
+        copybacks=counters.copybacks,
+        flash_reads=counters.reads,
+        flash_programs=counters.programs,
+        cmt_hit_ratio=cmt_hit,
+        wear=wear_stats(ftl.array),
+        sim_duration_s=end / 1e6,
+        wall_time_s=time.perf_counter() - wall_start,
+    )
+
+
+def run_workload(spec: WorkloadSpec, config: ExperimentConfig) -> SimulationResult:
+    """Generate a synthetic workload and run it."""
+    return run_simulation(generate(spec), config, trace_name=spec.name)

@@ -1,0 +1,86 @@
+"""Steady-state detection for measured series.
+
+Aged-device measurements still carry a warm-up transient (caches
+filling, GC reaching equilibrium).  Standard practice is to detect the
+steady-state onset and report statistics from there.  Two detectors:
+
+* :func:`steady_state_start` — first index from which every sliding-
+  window mean stays within ``tolerance`` of the tail mean (simple,
+  interpretable);
+* :func:`mser_start` — MSER (Marginal Standard Error Rule): the
+  truncation point minimising the standard error of the remaining
+  samples, the classic simulation-output-analysis rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def steady_state_start(
+    values: Sequence[float], *, window: int = 10, tolerance: float = 0.25
+) -> Optional[int]:
+    """First index where sliding-window means settle near the tail mean.
+
+    Returns None when the series never settles (or is too short).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be > 0")
+    data = np.asarray(values, dtype=np.float64)
+    if len(data) < 2 * window:
+        return None
+    tail_mean = float(data[len(data) // 2 :].mean())
+    scale = abs(tail_mean) if tail_mean != 0 else 1.0
+    # rolling means over the window
+    kernel = np.ones(window) / window
+    rolling = np.convolve(data, kernel, mode="valid")
+    within = np.abs(rolling - tail_mean) <= tolerance * scale
+    # find the first index from which every later window qualifies
+    ok_from = None
+    for index in range(len(within) - 1, -1, -1):
+        if within[index]:
+            ok_from = index
+        else:
+            break
+    if ok_from is None:
+        return None
+    return ok_from
+
+
+def mser_start(values: Sequence[float], *, max_trim: float = 0.5) -> int:
+    """MSER truncation point: trim that minimises the standard error.
+
+    ``max_trim`` caps the searched prefix (trimming more than half the
+    series is a sign the run is too short, per the rule's guidance).
+    """
+    if not 0 < max_trim <= 0.9:
+        raise ValueError("max_trim must be in (0, 0.9]")
+    data = np.asarray(values, dtype=np.float64)
+    n = len(data)
+    if n < 4:
+        return 0
+    best_index, best_score = 0, np.inf
+    limit = int(n * max_trim)
+    for start in range(limit + 1):
+        rest = data[start:]
+        if len(rest) < 2:
+            break
+        score = rest.var(ddof=0) / len(rest)
+        if score < best_score:
+            best_score, best_index = score, start
+    return best_index
+
+
+def steady_mean(values: Sequence[float], **kwargs) -> float:
+    """Mean over the detected steady-state region (MSER fallback)."""
+    data = np.asarray(values, dtype=np.float64)
+    if len(data) == 0:
+        return 0.0
+    start = steady_state_start(data, **kwargs)
+    if start is None:
+        start = mser_start(data)
+    return float(data[start:].mean())

@@ -1,0 +1,244 @@
+"""Flash array state: page states, owners, per-block bookkeeping, free pools.
+
+The array enforces NAND physics on state transitions:
+
+* a page can only be programmed when FREE, and only in ascending page
+  order within its block (skipping pages forward is legal);
+* only whole blocks are erased, and only when they hold no VALID page
+  (the FTL must have relocated valid data first);
+* erase counts accumulate per block (wear).
+
+Timing lives in :mod:`repro.flash.timekeeper`; this module is pure state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List
+
+import numpy as np
+
+from repro.flash.address import OWNER_NONE, AddressCodec, PageState
+from repro.flash.geometry import SSDGeometry
+
+
+class FlashStateError(RuntimeError):
+    """A state transition violated NAND constraints."""
+
+
+class FlashArray:
+    """Mutable physical state of the whole flash device."""
+
+    def __init__(self, geometry: SSDGeometry):
+        self.geometry = geometry
+        self.codec = AddressCodec(geometry)
+        n_pages = geometry.num_physical_pages
+        n_blocks = geometry.num_physical_blocks
+        ppb = geometry.pages_per_block
+
+        self.page_state = np.full(n_pages, PageState.FREE, dtype=np.uint8)
+        self.page_owner = np.full(n_pages, OWNER_NONE, dtype=np.int64)
+        self.block_valid = np.zeros(n_blocks, dtype=np.int32)
+        self.block_invalid = np.zeros(n_blocks, dtype=np.int32)
+        # Next programmable page offset per block (ascending-order rule).
+        self.block_write_ptr = np.zeros(n_blocks, dtype=np.int32)
+        self.block_erase_count = np.zeros(n_blocks, dtype=np.int64)
+        # Monotonic program stamp per block (for age-based GC policies).
+        self.block_write_stamp = np.zeros(n_blocks, dtype=np.int64)
+        self.write_stamp = 0
+        self._pages_per_block = ppb
+
+        # Free block pools, one per plane.  Initially every block is free.
+        bpp = geometry.physical_blocks_per_plane
+        self._free_pools: List[Deque[int]] = [
+            deque(range(plane * bpp, (plane + 1) * bpp)) for plane in range(geometry.num_planes)
+        ]
+        self._block_is_free = np.ones(n_blocks, dtype=bool)
+        self._block_is_bad = np.zeros(n_blocks, dtype=bool)
+        #: Optional callable ``block -> bool``; True retires the block at
+        #: release time instead of pooling it (end-of-life wear-out).
+        self.retirement_policy = None
+
+    # ---- pool management -------------------------------------------------
+
+    def free_block_count(self, plane: int) -> int:
+        return len(self._free_pools[plane])
+
+    def allocate_block(self, plane: int) -> int:
+        """Take a free block out of a plane's pool."""
+        pool = self._free_pools[plane]
+        if not pool:
+            raise FlashStateError(f"plane {plane} has no free blocks")
+        block = pool.popleft()
+        self._block_is_free[block] = False
+        return block
+
+    def release_block(self, block: int) -> None:
+        """Return an erased block to its plane's pool.
+
+        If a ``retirement_policy`` is installed and flags the block
+        (wear-out), the block is marked bad and leaves circulation
+        instead.
+        """
+        if self._block_is_free[block]:
+            raise FlashStateError(f"block {block} already in free pool")
+        if self.block_write_ptr[block] != 0:
+            raise FlashStateError(f"block {block} must be erased before release")
+        if self.retirement_policy is not None and self.retirement_policy(block):
+            self._block_is_bad[block] = True
+            return
+        plane = self.codec.block_to_plane(block)
+        self._free_pools[plane].append(block)
+        self._block_is_free[block] = True
+
+    def mark_bad(self, block: int) -> None:
+        """Retire a block from the free pool (factory bad block)."""
+        if not self._block_is_free[block]:
+            raise FlashStateError(f"cannot factory-retire in-use block {block}")
+        plane = self.codec.block_to_plane(block)
+        self._free_pools[plane].remove(block)
+        self._block_is_free[block] = False
+        self._block_is_bad[block] = True
+
+    def is_block_bad(self, block: int) -> bool:
+        return bool(self._block_is_bad[block])
+
+    @property
+    def bad_block_mask(self) -> np.ndarray:
+        return self._block_is_bad
+
+    def bad_block_count(self) -> int:
+        return int(np.count_nonzero(self._block_is_bad))
+
+    def is_block_free(self, block: int) -> bool:
+        return bool(self._block_is_free[block])
+
+    @property
+    def block_free_mask(self) -> np.ndarray:
+        """Read-only view: True where the block sits in a free pool."""
+        return self._block_is_free
+
+    # ---- page operations ---------------------------------------------------
+
+    def program(self, ppn: int, owner: int) -> None:
+        """Program a FREE page with ``owner`` (ascending order enforced)."""
+        if self.page_state[ppn] != PageState.FREE:
+            raise FlashStateError(f"program of non-free page {ppn}")
+        block = self.codec.ppn_to_block(ppn)
+        offset = self.codec.ppn_to_page(ppn)
+        if offset < self.block_write_ptr[block]:
+            raise FlashStateError(
+                f"out-of-order program: page {offset} of block {block}, write ptr at {self.block_write_ptr[block]}"
+            )
+        if self._block_is_free[block]:
+            raise FlashStateError(f"program into unallocated block {block}")
+        # Skipped-over pages stay FREE but can never be programmed later.
+        self.block_write_ptr[block] = offset + 1
+        self.page_state[ppn] = PageState.VALID
+        self.page_owner[ppn] = owner
+        self.block_valid[block] += 1
+        self.write_stamp += 1
+        self.block_write_stamp[block] = self.write_stamp
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a VALID page stale (out-of-place update or relocation)."""
+        if self.page_state[ppn] != PageState.VALID:
+            raise FlashStateError(f"invalidate of non-valid page {ppn}")
+        block = self.codec.ppn_to_block(ppn)
+        self.page_state[ppn] = PageState.INVALID
+        self.page_owner[ppn] = OWNER_NONE
+        self.block_valid[block] -= 1
+        self.block_invalid[block] += 1
+
+    def skip_page(self, ppn: int) -> None:
+        """Deliberately waste a FREE page (same-parity policy, Fig. 5b).
+
+        The page is counted as INVALID so garbage collection can reclaim
+        the space, and the block write pointer moves past it.
+        """
+        if self.page_state[ppn] != PageState.FREE:
+            raise FlashStateError(f"skip of non-free page {ppn}")
+        block = self.codec.ppn_to_block(ppn)
+        offset = self.codec.ppn_to_page(ppn)
+        if offset < self.block_write_ptr[block]:
+            raise FlashStateError(f"skip behind write pointer in block {block}")
+        self.block_write_ptr[block] = offset + 1
+        self.page_state[ppn] = PageState.INVALID
+        self.block_invalid[block] += 1
+
+    def erase(self, block: int) -> None:
+        """Erase a block that carries no valid data."""
+        if self.block_valid[block] != 0:
+            raise FlashStateError(f"erase of block {block} with {self.block_valid[block]} valid pages")
+        if self._block_is_free[block]:
+            raise FlashStateError(f"erase of pooled free block {block}")
+        ppns = self.codec.block_ppns(block)
+        self.page_state[ppns.start : ppns.stop] = PageState.FREE
+        self.page_owner[ppns.start : ppns.stop] = OWNER_NONE
+        self.block_invalid[block] = 0
+        self.block_write_ptr[block] = 0
+        self.block_erase_count[block] += 1
+
+    def bulk_fill_block(self, block: int, owners: np.ndarray) -> np.ndarray:
+        """Program ``owners`` into a freshly allocated block's first pages.
+
+        Vectorised fast path for device preconditioning: equivalent to
+        ``program`` called sequentially from offset 0.  Returns the PPNs.
+        """
+        n = len(owners)
+        if n < 1 or n > self._pages_per_block:
+            raise ValueError(f"owners must hold 1..{self._pages_per_block} entries")
+        if self._block_is_free[block]:
+            raise FlashStateError(f"bulk fill into unallocated block {block}")
+        if self.block_write_ptr[block] != 0:
+            raise FlashStateError(f"bulk fill into partially written block {block}")
+        first = self.codec.block_first_ppn(block)
+        self.page_state[first : first + n] = PageState.VALID
+        self.page_owner[first : first + n] = owners
+        self.block_valid[block] = n
+        self.block_write_ptr[block] = n
+        self.write_stamp += n
+        self.block_write_stamp[block] = self.write_stamp
+        return np.arange(first, first + n, dtype=np.int64)
+
+    # ---- queries ------------------------------------------------------------
+
+    def valid_pages_in_block(self, block: int) -> Iterator[int]:
+        """PPNs of valid pages in a block, in ascending page order."""
+        first = block * self._pages_per_block
+        states = self.page_state[first : first + self._pages_per_block]
+        for offset in np.flatnonzero(states == PageState.VALID):
+            yield first + int(offset)
+
+    def owner_of(self, ppn: int) -> int:
+        return int(self.page_owner[ppn])
+
+    def state_of(self, ppn: int) -> PageState:
+        return PageState(self.page_state[ppn])
+
+    def block_free_pages(self, block: int) -> int:
+        """Programmable pages remaining in a block (past the write pointer)."""
+        return self._pages_per_block - int(self.block_write_ptr[block])
+
+    def plane_blocks(self, plane: int) -> range:
+        bpp = self.geometry.physical_blocks_per_plane
+        return range(plane * bpp, (plane + 1) * bpp)
+
+    def utilization(self) -> float:
+        """Fraction of physical pages currently valid."""
+        return float(np.count_nonzero(self.page_state == PageState.VALID)) / len(self.page_state)
+
+    def check_consistency(self) -> None:
+        """Expensive invariant check used by tests and debug runs."""
+        for block in range(self.geometry.num_physical_blocks):
+            first = block * self._pages_per_block
+            states = self.page_state[first : first + self._pages_per_block]
+            n_valid = int(np.count_nonzero(states == PageState.VALID))
+            n_invalid = int(np.count_nonzero(states == PageState.INVALID))
+            if n_valid != self.block_valid[block]:
+                raise FlashStateError(f"block {block}: valid count {self.block_valid[block]} != {n_valid}")
+            if n_invalid != self.block_invalid[block]:
+                raise FlashStateError(f"block {block}: invalid count {self.block_invalid[block]} != {n_invalid}")
+            ptr = int(self.block_write_ptr[block])
+            if np.any(states[ptr:] != PageState.FREE):
+                raise FlashStateError(f"block {block}: non-free page past write pointer {ptr}")

@@ -1,0 +1,81 @@
+"""Bad-block management.
+
+Section I: "The flash controller manages the entire flash SSD including
+error correction, the interface with flash memory, and servicing host
+requests" — part of which is retiring blocks that arrive bad from the
+factory or wear out (the finite-erasure-cycles limitation).
+
+The manager installs itself as the array's ``retirement_policy``: at
+release time a block whose erase count reached its (per-block sampled)
+endurance is retired instead of pooled.  Endurance is sampled once per
+block around the rated cycle count, seeded for reproducibility —
+deterministic reruns, heterogeneous blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.array import FlashArray
+
+
+@dataclass
+class BadBlockStats:
+    factory_bad: int = 0
+    worn_out: int = 0
+
+
+class BadBlockManager:
+    """Factory bad blocks + wear-out retirement for a flash array."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        *,
+        rated_cycles: int = 3000,
+        endurance_spread: float = 0.2,
+        factory_bad_rate: float = 0.002,
+        seed: int = 0,
+    ):
+        if rated_cycles < 1:
+            raise ValueError("rated_cycles must be >= 1")
+        if not 0.0 <= endurance_spread < 1.0:
+            raise ValueError("endurance_spread must be in [0, 1)")
+        if not 0.0 <= factory_bad_rate < 1.0:
+            raise ValueError("factory_bad_rate must be in [0, 1)")
+        self.array = array
+        self.rated_cycles = rated_cycles
+        self.stats = BadBlockStats()
+        rng = np.random.default_rng(seed)
+        n_blocks = array.geometry.num_physical_blocks
+        # per-block endurance: rated +- spread, uniform
+        low = rated_cycles * (1.0 - endurance_spread)
+        high = rated_cycles * (1.0 + endurance_spread)
+        self.endurance = rng.uniform(low, high, size=n_blocks).astype(np.int64)
+        # factory bad blocks, sampled before any traffic
+        bad = rng.random(n_blocks) < factory_bad_rate
+        for block in np.flatnonzero(bad):
+            self.array.mark_bad(int(block))
+            self.stats.factory_bad += 1
+        array.retirement_policy = self._should_retire
+
+    def _should_retire(self, block: int) -> bool:
+        if self.array.block_erase_count[block] >= self.endurance[block]:
+            self.stats.worn_out += 1
+            return True
+        return False
+
+    # ---- reporting ---------------------------------------------------------
+
+    def retired_fraction(self) -> float:
+        return self.array.bad_block_count() / self.array.geometry.num_physical_blocks
+
+    def remaining_life_fraction(self) -> float:
+        """Mean unused endurance across live blocks (1.0 = fresh)."""
+        alive = ~self.array.bad_block_mask
+        if not alive.any():
+            return 0.0
+        used = self.array.block_erase_count[alive] / self.endurance[alive]
+        return float(np.clip(1.0 - used, 0.0, 1.0).mean())

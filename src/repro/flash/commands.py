@@ -1,0 +1,106 @@
+"""Advanced multi-plane commands (Section II.B).
+
+"Multi-plane command launches multiple read, write, or erasure
+operations in all planes on the same die.  Since multiple planes can
+each carry out one operation in parallel, a multi-plane operation only
+takes the time of one read, write, or erasure operation."
+
+DLOOP itself relies on striping + copy-back, but the substrate supports
+the full advanced command set so FTL variants can be built on top.  The
+array-side operation overlaps across the die's planes; data transfers
+still serialise on the shared channel (the die's serial I/O bus,
+Fig. 1b), which is exactly why the paper ranks die-level parallelism as
+harder to exploit than plane-level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.flash.timekeeper import FlashTimekeeper
+
+
+def _check_same_die(clock: FlashTimekeeper, planes: Sequence[int]) -> None:
+    if not planes:
+        raise ValueError("multi-plane command needs at least one plane")
+    if len(set(planes)) != len(planes):
+        raise ValueError("multi-plane command planes must be distinct")
+    dies = {clock.geometry.plane_to_die(p) for p in planes}
+    if len(dies) != 1:
+        raise ValueError(f"multi-plane command spans dies {sorted(dies)}; must be one die")
+
+
+def multi_plane_program(clock: FlashTimekeeper, planes: Sequence[int], start: float) -> float:
+    """Program one page on each plane of a die; array time overlaps.
+
+    The per-page data-in transfers share the channel back-to-back, then
+    every plane programs concurrently.
+    """
+    _check_same_die(clock, planes)
+    timing = clock.timing
+    xfer = timing.page_transfer_us(clock.geometry.page_size)
+    channel = clock.geometry.plane_to_channel(planes[0])
+    t = start
+    program_starts = []
+    for plane in planes:
+        t = max(t, clock.channel_free[channel])
+        xfer_end = t + xfer
+        clock.channel_free[channel] = xfer_end
+        clock.counters.channel_busy_us[channel] += xfer
+        program_starts.append((plane, xfer_end))
+        t = xfer_end
+    end = start
+    for plane, ready in program_starts:
+        op_start = max(ready, clock.plane_free[plane])
+        op_end = op_start + timing.page_program_us
+        clock.plane_free[plane] = op_end
+        clock.counters.programs += 1
+        clock.counters.plane_ops[plane] += 1
+        clock.counters.plane_busy_us[plane] += op_end - op_start
+        end = max(end, op_end)
+    return end
+
+
+def multi_plane_read(clock: FlashTimekeeper, planes: Sequence[int], start: float) -> float:
+    """Sense one page on each plane concurrently, then stream them out."""
+    _check_same_die(clock, planes)
+    timing = clock.timing
+    xfer = timing.page_transfer_us(clock.geometry.page_size)
+    channel = clock.geometry.plane_to_channel(planes[0])
+    sense_ends = []
+    for plane in planes:
+        sense_start = max(start, clock.plane_free[plane])
+        sense_ends.append((plane, sense_start + timing.page_read_us))
+    end = start
+    for plane, sensed in sense_ends:
+        xfer_start = max(sensed, clock.channel_free[channel])
+        xfer_end = xfer_start + xfer
+        clock.channel_free[channel] = xfer_end
+        clock.counters.channel_busy_us[channel] += xfer
+        clock.plane_free[plane] = xfer_end
+        clock.counters.reads += 1
+        clock.counters.plane_ops[plane] += 1
+        clock.counters.plane_busy_us[plane] += xfer_end - start
+        end = max(end, xfer_end)
+    return end
+
+
+def multi_plane_erase(clock: FlashTimekeeper, planes: Sequence[int], start: float) -> float:
+    """Erase one block on each plane of a die in the time of one erase."""
+    _check_same_die(clock, planes)
+    timing = clock.timing
+    channel = clock.geometry.plane_to_channel(planes[0])
+    cmd_start = max(start, clock.channel_free[channel])
+    cmd_end = cmd_start + timing.cmd_addr_us
+    clock.channel_free[channel] = cmd_end
+    clock.counters.channel_busy_us[channel] += timing.cmd_addr_us
+    end = cmd_end
+    for plane in planes:
+        op_start = max(cmd_end, clock.plane_free[plane])
+        op_end = op_start + timing.block_erase_us
+        clock.plane_free[plane] = op_end
+        clock.counters.erases += 1
+        clock.counters.plane_ops[plane] += 1
+        clock.counters.plane_busy_us[plane] += op_end - op_start
+        end = max(end, op_end)
+    return end

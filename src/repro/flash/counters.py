@@ -1,0 +1,51 @@
+"""Operation counters: per-plane traffic and per-command totals.
+
+The per-plane counts feed the paper's SDRPP metric (standard deviation
+of requests per plane, Section V.A); the command totals quantify GC
+overhead and copy-back usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FlashCounters:
+    num_planes: int
+    num_channels: int
+    plane_ops: np.ndarray = field(init=False)
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    copybacks: int = 0
+    interplane_copies: int = 0
+    skipped_pages: int = 0
+    channel_busy_us: np.ndarray = field(init=False)
+    plane_busy_us: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.plane_ops = np.zeros(self.num_planes, dtype=np.int64)
+        self.channel_busy_us = np.zeros(self.num_channels, dtype=np.float64)
+        self.plane_busy_us = np.zeros(self.num_planes, dtype=np.float64)
+
+    @property
+    def total_ops(self) -> int:
+        return int(self.plane_ops.sum())
+
+    def plane_request_std(self) -> float:
+        """Std-dev of per-plane request counts (the raw SDRPP quantity)."""
+        return float(np.std(self.plane_ops))
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "copybacks": self.copybacks,
+            "interplane_copies": self.interplane_copies,
+            "skipped_pages": self.skipped_pages,
+            "plane_ops": self.plane_ops.copy(),
+        }

@@ -1,0 +1,148 @@
+"""Resource-timeline timing model for flash operations.
+
+Each plane and each channel carries a "next free" timeline.  An
+operation requested at time ``t`` starts when both the issuing request
+and the resources it needs are ready; the timekeeper advances the
+timelines and returns the completion time.  Operations on distinct
+planes/channels overlap freely — this is exactly the plane-level and
+channel-level parallelism of Section II.B:
+
+* ``read_page``   — plane busy for the array sense (25 us), then the
+  channel for command + data-out transfer.  The plane's data register is
+  held until the transfer drains.
+* ``program_page`` — channel for command + data-in transfer, then the
+  plane for the program (200 us).
+* ``erase_block`` — plane only (command cycle on the channel).
+* ``copy_back``   — plane only, sense + program back-to-back, **no
+  channel time** (Fig. 3).  Concurrent copy-backs on different planes
+  overlap completely.
+* ``inter_plane_copy`` — the traditional 4-step path of Fig. 2: read +
+  transfer out + transfer in + program, occupying the channel twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.counters import FlashCounters
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+
+
+class FlashTimekeeper:
+    """Tracks when each plane / channel becomes free and prices operations.
+
+    ``die_aware=True`` adds the chip serial I/O bus of Fig. 1b as a
+    third resource level: a transfer then occupies both its channel and
+    its die's bus.  With one chip per channel (the default geometry)
+    the two coincide and the flag changes nothing; with several chips
+    per channel it exposes the die-level contention the paper discusses
+    in Section II.B.
+    """
+
+    def __init__(self, geometry: SSDGeometry, timing: TimingParams, *, die_aware: bool = False):
+        self.geometry = geometry
+        self.timing = timing
+        self.die_aware = die_aware
+        self.plane_free = np.zeros(geometry.num_planes, dtype=np.float64)
+        self.channel_free = np.zeros(geometry.channels, dtype=np.float64)
+        self.die_bus_free = np.zeros(geometry.num_dies, dtype=np.float64)
+        self.counters = FlashCounters(geometry.num_planes, geometry.channels)
+        self._page_xfer = timing.page_transfer_us(geometry.page_size)
+
+    # ---- helpers ---------------------------------------------------------
+
+    def _channel_of(self, plane: int) -> int:
+        return self.geometry.plane_to_channel(plane)
+
+    def _bus_ready(self, plane: int, channel: int, earliest: float) -> float:
+        """When the transfer path (channel [+ die bus]) becomes usable."""
+        ready = max(earliest, self.channel_free[channel])
+        if self.die_aware:
+            ready = max(ready, self.die_bus_free[self.geometry.plane_to_die(plane)])
+        return ready
+
+    def _bus_hold(self, plane: int, channel: int, until: float) -> None:
+        self.channel_free[channel] = until
+        if self.die_aware:
+            self.die_bus_free[self.geometry.plane_to_die(plane)] = until
+
+    def _note_plane(self, plane: int, start: float, end: float) -> None:
+        self.counters.plane_ops[plane] += 1
+        self.counters.plane_busy_us[plane] += end - start
+
+    # ---- operations --------------------------------------------------------
+
+    def read_page(self, plane: int, start: float) -> float:
+        """Sense a page into the plane register and stream it to the controller."""
+        channel = self._channel_of(plane)
+        sense_start = max(start, self.plane_free[plane])
+        sense_end = sense_start + self.timing.page_read_us
+        xfer_start = self._bus_ready(plane, channel, sense_end)
+        end = xfer_start + self._page_xfer
+        # Register holds the data until the transfer drains.
+        self.plane_free[plane] = end
+        self._bus_hold(plane, channel, end)
+        self.counters.reads += 1
+        self.counters.channel_busy_us[channel] += end - xfer_start
+        self._note_plane(plane, sense_start, end)
+        return end
+
+    def program_page(self, plane: int, start: float) -> float:
+        """Stream a page to the plane register and program it."""
+        channel = self._channel_of(plane)
+        xfer_start = self._bus_ready(plane, channel, start)
+        xfer_end = xfer_start + self._page_xfer
+        self._bus_hold(plane, channel, xfer_end)
+        prog_start = max(xfer_end, self.plane_free[plane])
+        end = prog_start + self.timing.page_program_us
+        self.plane_free[plane] = end
+        self.counters.programs += 1
+        self.counters.channel_busy_us[channel] += xfer_end - xfer_start
+        self._note_plane(plane, xfer_start, end)
+        return end
+
+    def erase_block(self, plane: int, start: float) -> float:
+        """Erase a block on a plane (channel used only for the command cycle)."""
+        channel = self._channel_of(plane)
+        cmd_start = max(start, self.channel_free[channel])
+        cmd_end = cmd_start + self.timing.cmd_addr_us
+        self.channel_free[channel] = cmd_end
+        erase_start = max(cmd_end, self.plane_free[plane])
+        end = erase_start + self.timing.block_erase_us
+        self.plane_free[plane] = end
+        self.counters.erases += 1
+        self.counters.channel_busy_us[channel] += cmd_end - cmd_start
+        self._note_plane(plane, cmd_start, end)
+        return end
+
+    def copy_back(self, plane: int, start: float) -> float:
+        """Intra-plane copy-back: read + program, zero channel occupancy."""
+        op_start = max(start, self.plane_free[plane])
+        end = op_start + self.timing.copy_back_us()
+        self.plane_free[plane] = end
+        self.counters.copybacks += 1
+        self._note_plane(plane, op_start, end)
+        return end
+
+    def inter_plane_copy(self, src_plane: int, dst_plane: int, start: float) -> float:
+        """Traditional copy through the controller buffer (Fig. 2)."""
+        after_read = self.read_page(src_plane, start)
+        end = self.program_page(dst_plane, after_read)
+        # read_page/program_page already counted a read and a program;
+        # additionally tally the composite operation.
+        self.counters.interplane_copies += 1
+        return end
+
+    # ---- introspection -------------------------------------------------------
+
+    def quiesce_time(self) -> float:
+        """Time at which every resource is idle."""
+        return max(float(self.plane_free.max()), float(self.channel_free.max()))
+
+    def reset_measurements(self) -> None:
+        """Zero timelines and counters (after preconditioning a device)."""
+        self.plane_free.fill(0.0)
+        self.channel_free.fill(0.0)
+        self.die_bus_free.fill(0.0)
+        self.counters = FlashCounters(self.geometry.num_planes, self.geometry.channels)

@@ -1,0 +1,441 @@
+"""Abstract FTL interface and shared bookkeeping.
+
+Every FTL owns a :class:`FlashArray` (physical state) and a
+:class:`FlashTimekeeper` (timing) and exposes two entry points the
+controller calls per logical page:
+
+* ``read_page(lpn, start) -> completion time``
+* ``write_page(lpn, start) -> completion time``
+
+The *authoritative* logical-to-physical map is the in-memory
+``page_table`` (as in FlashSim); SRAM-constrained FTLs (DLOOP, DFTL)
+additionally run a CMT/GTD model that charges the flash traffic a real
+controller would pay for mapping lookups.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.address import PageState, is_translation_owner
+from repro.flash.array import FlashArray
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.flash.timing import TimingParams
+from repro.ftl.gcontrol import GcStats
+
+
+class OutOfSpaceError(RuntimeError):
+    """The device cannot reclaim enough space to continue."""
+
+
+@dataclass
+class FtlStats:
+    host_reads: int = 0
+    host_writes: int = 0
+    host_trims: int = 0
+    unmapped_reads: int = 0
+
+
+class Ftl(abc.ABC):
+    """Base class for all flash translation layers."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        timing: TimingParams | None = None,
+        *,
+        gc_threshold: int = 3,
+        max_gc_passes: int = 8,
+        gc_victim_policy: str = "greedy",
+        gc_policy_seed: int = 0,
+        debug_checks: bool = False,
+    ):
+        from repro.ftl.gcontrol import VICTIM_POLICIES
+
+        if gc_victim_policy not in VICTIM_POLICIES:
+            raise ValueError(f"gc_victim_policy must be one of {VICTIM_POLICIES}")
+        if gc_threshold < 2:
+            raise ValueError("gc_threshold must be >= 2 (GC needs a spare destination block)")
+        self.geometry = geometry
+        self.timing = timing if timing is not None else TimingParams()
+        self.array = FlashArray(geometry)
+        self.clock = FlashTimekeeper(geometry, self.timing)
+        self.codec = self.array.codec
+        self.page_table = np.full(geometry.num_lpns, -1, dtype=np.int64)
+        self.gc_threshold = gc_threshold
+        self.max_gc_passes = max_gc_passes
+        self.gc_victim_policy = gc_victim_policy
+        self._gc_rng = random.Random(gc_policy_seed)
+        self.debug_checks = debug_checks
+        self.stats = FtlStats()
+        self.gc_stats = GcStats()
+        self._gc_planes: set[int] = set()
+        self._gc_pending: set[int] = set()
+
+    # ---- host interface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def read_page(self, lpn: int, start: float) -> float:
+        """Serve a one-page read; returns completion time."""
+
+    @abc.abstractmethod
+    def write_page(self, lpn: int, start: float) -> float:
+        """Serve a one-page write/update; returns completion time."""
+
+    def write_pages(self, lpns, start: float) -> float:
+        """Serve a multi-page write; returns the last completion time.
+
+        Default: independent per-page writes (they already overlap
+        across planes/channels through the resource timelines).
+        Subclasses may override to use multi-plane commands
+        (Section II.B) for pages landing on one die.
+        """
+        completion = start
+        for lpn in lpns:
+            completion = max(completion, self.write_page(lpn, start))
+        return completion
+
+    def read_pages(self, lpns, start: float) -> float:
+        """Serve a multi-page read; returns the last completion time."""
+        completion = start
+        for lpn in lpns:
+            completion = max(completion, self.read_page(lpn, start))
+        return completion
+
+    def trim_page(self, lpn: int, start: float) -> float:
+        """Discard a logical page (TRIM): its flash copy becomes garbage.
+
+        The base implementation invalidates the current copy and clears
+        the mapping; subclasses with persistent mapping structures
+        override to also charge the mapping update.
+        """
+        self.check_lpn(lpn)
+        ppn = self.current_ppn(lpn)
+        if ppn == -1:
+            return start
+        self.array.invalidate(ppn)
+        self.page_table[lpn] = -1
+        self.stats.host_trims += 1
+        return start
+
+    def trim_pages(self, lpns, start: float) -> float:
+        """Discard a run of logical pages."""
+        completion = start
+        for lpn in lpns:
+            completion = max(completion, self.trim_page(lpn, start))
+        return completion
+
+    # ---- garbage-collection orchestration -----------------------------------
+    #
+    # Shared by the page-mapping FTLs (DLOOP, DFTL, PageMap).  A GC
+    # *pass* reclaims one victim block (subclass hook ``_collect``).
+    # Passes never nest: a trigger that fires while a pass is running
+    # (e.g. a translation write-back landing on another low plane) is
+    # queued and drained between passes.  This mirrors how a real
+    # controller serialises GC work per die while keeping every plane's
+    # free pool above the threshold (Section III.C).
+
+    def _gc_exclude(self, plane: int) -> set:
+        """Blocks GC must not victimise on ``plane`` (active write points)."""
+        raise NotImplementedError
+
+    def _collect(self, plane: int, victim: int, now: float) -> float:
+        """Reclaim one victim block; subclass responsibility."""
+        raise NotImplementedError
+
+    def _gc_close_active(self, plane: int) -> Optional[int]:
+        """Give up the plane's active write block for emergency GC.
+
+        Returns the closed block (now a legal victim) or None.  Only
+        called when the plane has zero free blocks and no other victim.
+        """
+        return None
+
+    def _gc_max_valid(self, plane: int) -> Optional[int]:
+        """Most valid pages a victim on ``plane`` may carry (feasibility).
+
+        None means unconstrained (the FTL relocates to other planes, so
+        one plane's pool does not bound the move).  Subclasses whose GC
+        destination is the same plane must bound this by the space the
+        plane can provide mid-pass.
+        """
+        return None
+
+    def _maybe_gc(self, plane: int, now: float) -> float:
+        if self._gc_planes:
+            # A pass is already running somewhere.  Never nest: mid-pass
+            # allocations are protected by the feasibility reserve and
+            # the translation-write fallback, and the top-level drain
+            # loop will service this plane right after the current pass.
+            self._gc_pending.add(plane)
+            return now
+        # Device-wide scan: a plane that no longer receives writes (its
+        # pool ran dry, so allocators avoid it) must still be collected,
+        # or its garbage is stranded forever.
+        queue = {
+            p
+            for p in range(self.geometry.num_planes)
+            if self.array.free_block_count(p) < self.gc_threshold
+        }
+        if not queue:
+            return now
+        self.gc_stats.invocations += 1
+        t = now
+        # Bounded foreground GC: each host operation funds at most
+        # ``max_gc_passes`` victim collections, spent on the most
+        # starved planes first (the triggering plane ties at its free
+        # count).  Planes still below threshold are picked up by the
+        # next operation — incremental reclamation, never a device-wide
+        # stop-the-world sweep per write.
+        budget = self.max_gc_passes
+        while queue and budget > 0:
+            # The triggering plane first — its caller is about to
+            # allocate on it; then most-starved planes.
+            if plane in queue and self.array.free_block_count(plane) < self.gc_threshold:
+                p = plane
+            else:
+                p = min(queue, key=self.array.free_block_count)
+            queue.discard(p)
+            if self.array.free_block_count(p) >= self.gc_threshold:
+                continue
+            t = self._gc_pass(p, t)
+            budget -= 1
+            if self.array.free_block_count(p) < self.gc_threshold:
+                queue.add(p)
+            queue |= self._gc_pending
+            self._gc_pending.clear()
+        self._gc_pending |= queue
+        self.gc_stats.busy_us += t - now
+        return t
+
+    def background_collect(self, now: float, target_free: Optional[int] = None) -> tuple:
+        """Run at most one proactive GC pass during device idle time.
+
+        ``target_free`` is the free-block level background GC tops
+        planes up to (default: twice the foreground threshold).
+        Returns ``(time_after, did_work)``; callers re-invoke while the
+        device stays idle and ``did_work`` is True.
+        """
+        if self._gc_planes:
+            return now, False
+        if target_free is None:
+            target_free = 2 * self.gc_threshold
+        needy = [
+            p
+            for p in range(self.geometry.num_planes)
+            if self.array.free_block_count(p) < target_free
+        ]
+        if not needy:
+            return now, False
+        plane = min(needy, key=self.array.free_block_count)
+        total_free_before = sum(
+            self.array.free_block_count(p) for p in range(self.geometry.num_planes)
+        )
+        t = self._gc_pass(plane, now)
+        total_free_after = sum(
+            self.array.free_block_count(p) for p in range(self.geometry.num_planes)
+        )
+        # Progress means net free space gained; a churn pass (erase
+        # balanced by destination allocations) must not keep the idle
+        # loop spinning forever.
+        did_work = total_free_after > total_free_before
+        if did_work:
+            self.gc_stats.background_passes += 1
+        return t, did_work
+
+    def _gc_pass(self, plane: int, now: float) -> float:
+        from repro.ftl.gcontrol import select_victim
+
+        exclude = self._gc_exclude(plane)
+        victim = select_victim(
+            self.array,
+            plane,
+            exclude=exclude,
+            max_valid=self._gc_max_valid(plane),
+            policy=self.gc_victim_policy,
+            rng=self._gc_rng,
+        )
+        emergency = False
+        if victim is None:
+            if self.array.free_block_count(plane) >= 2:
+                # Nothing feasible yet; not cornered — future updates
+                # will create better victims.
+                return now
+            # Cornered: relocate a victim's pages to *other* planes
+            # through the controller rather than deadlock this plane.
+            victim = select_victim(
+                self.array, plane, exclude=exclude,
+                policy=self.gc_victim_policy, rng=self._gc_rng,
+            )
+            if victim is None and self.array.free_block_count(plane) == 0:
+                # Last resort: the only invalid pages may sit in the
+                # active write block itself — close it and collect it.
+                victim = self._gc_close_active(plane)
+            if victim is None:
+                # Nothing reclaimable at all (every block fully valid).
+                # Not fatal by itself: other planes may serve the write,
+                # and future updates create invalid pages here.  A write
+                # that genuinely cannot be placed raises OutOfSpaceError
+                # at the allocation site.
+                return now
+            emergency = True
+        self._gc_planes.add(plane)
+        try:
+            if emergency:
+                t = self._collect_emergency(plane, victim, now)
+            else:
+                t = self._collect(plane, victim, now)
+        finally:
+            self._gc_planes.discard(plane)
+        self.gc_stats.passes += 1
+        return t
+
+    # -- emergency relocation (cross-plane, controller path) -------------------
+
+    def _gc_alloc_any(self, owner: int) -> int:
+        """Program ``owner`` somewhere with space (subclass provides)."""
+        raise NotImplementedError
+
+    def _gc_note_move(self, owner: int, new_ppn: int, moved_data: list) -> None:
+        """Record a relocated page's new home (default: data pages only)."""
+        self.page_table[owner] = new_ppn
+        moved_data.append((owner, new_ppn))
+
+    def _gc_mapping_updates(self, moved_data: list, now: float) -> float:
+        """Charge mapping-structure updates after moves (default: free)."""
+        return now
+
+    def _collect_emergency(self, plane: int, victim: int, now: float) -> float:
+        t = now
+        moved_data: list = []
+        for ppn in list(self.array.valid_pages_in_block(victim)):
+            owner = self.array.owner_of(ppn)
+            new_ppn = self._gc_alloc_any(owner)
+            t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+            self.gc_stats.controller_moves += 1
+            self.array.invalidate(ppn)
+            self.gc_stats.moved_pages += 1
+            self._gc_note_move(owner, new_ppn, moved_data)
+        t = self.clock.erase_block(plane, t)
+        self.array.erase(victim)
+        self.array.release_block(victim)
+        self.gc_stats.erased_blocks += 1
+        t = self._gc_mapping_updates(moved_data, t)
+        self.gc_stats.emergency_passes += 1
+        return t
+
+    # ---- preconditioning ------------------------------------------------------
+
+    def bulk_fill(self, count: int) -> None:
+        """Sequentially write LPNs ``0..count-1`` as fast as possible.
+
+        Used to age a device before measuring.  The default walks the
+        normal write path; subclasses override with a vectorised
+        equivalent that produces the same end state.
+        """
+        for lpn in range(count):
+            self.write_page(lpn, 0.0)
+
+    # ---- shared helpers -----------------------------------------------------
+
+    def check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.geometry.num_lpns:
+            raise ValueError(f"lpn {lpn} outside logical space [0, {self.geometry.num_lpns})")
+
+    def current_ppn(self, lpn: int) -> int:
+        """Physical location of an LPN, or -1 if never written."""
+        return int(self.page_table[lpn])
+
+    def is_mapped(self, lpn: int) -> bool:
+        return self.page_table[lpn] != -1
+
+    def mapped_lpns(self) -> np.ndarray:
+        return np.flatnonzero(self.page_table != -1)
+
+    # ---- power-loss recovery ----------------------------------------------------
+
+    def rebuild_mapping(self) -> int:
+        """Reconstruct the logical-to-physical map from flash state.
+
+        After power loss the SRAM structures are gone; a real controller
+        scans the pages' out-of-band areas (which store each page's
+        owner) to rebuild its tables.  The array models exactly that
+        metadata, so recovery is: for every VALID data page, map its
+        owner to it.  Returns the number of recovered mappings.
+
+        Subclasses with additional persistent structures (GTD, block
+        tables) extend :meth:`_rebuild_extra_state`.
+        """
+        self.page_table.fill(-1)
+        valid_ppns = np.flatnonzero(self.array.page_state == PageState.VALID)
+        owners = self.array.page_owner[valid_ppns]
+        data_mask = owners >= 0
+        self.page_table[owners[data_mask]] = valid_ppns[data_mask]
+        self._rebuild_extra_state(valid_ppns[~data_mask], owners[~data_mask])
+        return int(np.count_nonzero(data_mask))
+
+    def _rebuild_extra_state(self, translation_ppns: np.ndarray, translation_owners: np.ndarray) -> None:
+        """Hook: restore structures beyond the page table (default none)."""
+
+    # ---- integrity ------------------------------------------------------------
+
+    def verify_integrity(self) -> None:
+        """Full-scan consistency check (tests / debug runs).
+
+        Invariants: every mapped LPN points at a VALID page owned by
+        that LPN; every VALID data page is pointed at by exactly its
+        owner; block counters match page states.
+        """
+        self.array.check_consistency()
+        mapped = self.mapped_lpns()
+        ppns = self.page_table[mapped]
+        states = self.array.page_state[ppns]
+        if np.any(states != PageState.VALID):
+            bad = mapped[states != PageState.VALID]
+            raise AssertionError(f"mapped lpns pointing at non-valid pages: {bad[:10]}")
+        owners = self.array.page_owner[ppns]
+        if np.any(owners != mapped):
+            bad = mapped[owners != mapped]
+            raise AssertionError(f"page owner mismatch for lpns: {bad[:10]}")
+        # Reverse direction: valid data pages must be reachable.
+        valid_ppns = np.flatnonzero(self.array.page_state == PageState.VALID)
+        owners = self.array.page_owner[valid_ppns]
+        data_mask = owners >= 0
+        back = self.page_table[owners[data_mask]]
+        if np.any(back != valid_ppns[data_mask]):
+            raise AssertionError("valid data page not referenced by page_table")
+        self.extra_integrity_checks(valid_ppns[~data_mask], owners[~data_mask])
+
+    def extra_integrity_checks(self, translation_ppns: np.ndarray, translation_owners: np.ndarray) -> None:
+        """Hook for subclasses with translation pages; default: none allowed."""
+        if len(translation_ppns):
+            raise AssertionError(f"unexpected translation pages: {translation_ppns[:10]}")
+
+    def _maybe_debug_check(self) -> None:
+        if self.debug_checks:
+            self.verify_integrity()
+
+    # ---- reporting --------------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "ftl": self.name,
+            "gc_threshold": self.gc_threshold,
+            "host_reads": self.stats.host_reads,
+            "host_writes": self.stats.host_writes,
+            "gc": self.gc_stats,
+            "flash": self.clock.counters.snapshot(),
+        }
+
+
+def is_translation_page(owner: int) -> bool:
+    """Convenience re-export used by GC loops."""
+    return is_translation_owner(owner)

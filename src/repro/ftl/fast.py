@@ -1,0 +1,304 @@
+"""FAST baseline (Lee et al., TECS'07) — hybrid log-block FTL.
+
+Data blocks are block-mapped (one logical block per physical block,
+page offset preserved); updates land in a small set of log blocks: one
+*sequential-write* (SW) log block capturing streams that start at
+offset 0, and *random-write* (RW) log blocks shared fully-associatively
+by all logical blocks.  Reclamation uses the three merges of
+Section II.A:
+
+* **switch merge** — a complete sequential SW log replaces its data
+  block with a single erase;
+* **partial merge** — an incomplete SW log absorbs the remaining valid
+  pages of its data block, then replaces it;
+* **full merge** — the oldest RW log block is scrubbed: every logical
+  block with valid pages in it is rebuilt into a fresh block by
+  gathering the latest copy of each page from wherever it lives (data
+  block, victim, other logs).  This is the expensive operation that
+  dominates FAST under random writes (Section II.A).
+
+The log-block budget is provisioned from the SSD's extra blocks, which
+is how the paper's Fig. 10 knob (percentage of extra blocks) reaches
+FAST.  All page movement goes through the controller (no copy-back),
+and the authoritative ``page_table`` resolves reads — FAST's
+block-level tables are SRAM-resident, so lookups cost no flash time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.ftl.base import Ftl, OutOfSpaceError
+from repro.ftl.logblock import MapJournal
+
+
+@dataclass
+class SwLog:
+    block: int
+    lbn: int
+
+
+@dataclass
+class FastStats:
+    switch_merges: int = 0
+    partial_merges: int = 0
+    full_merges: int = 0
+    merged_lbns: int = 0
+
+
+class FastFtl(Ftl):
+    """Fully-associative sector translation hybrid FTL."""
+
+    name = "fast"
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        timing: TimingParams | None = None,
+        *,
+        num_log_blocks: Optional[int] = None,
+        gc_threshold: int = 3,
+        debug_checks: bool = False,
+    ):
+        super().__init__(geometry, timing, gc_threshold=gc_threshold, debug_checks=debug_checks)
+        ppb = geometry.pages_per_block
+        self.pages_per_block = ppb
+        self.num_lbns = geometry.num_lpns // ppb
+        self.num_planes = geometry.num_planes
+        self.data_block = np.full(self.num_lbns, -1, dtype=np.int64)
+        if num_log_blocks is None:
+            total_extra = geometry.num_planes * geometry.extra_blocks_per_plane
+            margin = max(2, geometry.num_planes // 2)
+            num_log_blocks = max(2, total_extra - margin)
+        if num_log_blocks < 2:
+            raise ValueError("FAST needs at least 2 log blocks (1 SW + 1 RW)")
+        self.num_log_blocks = num_log_blocks
+        self.sw: Optional[SwLog] = None
+        self.current_rw: Optional[int] = None
+        self.rw_blocks: Deque[int] = deque()
+        self._log_count = 0
+        self._log_plane_rr = 0
+        self.fast_stats = FastStats()
+        # Block-map persistence on plane 0 (Section V.D's observation
+        # that FAST's mapping updates burden plane 0).
+        self.map_journal = MapJournal(self.array, self.clock)
+
+    # ---- host interface ---------------------------------------------------
+
+    def read_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn = self.current_ppn(lpn)
+        if ppn == -1:
+            self.stats.unmapped_reads += 1
+            return start
+        t = self.clock.read_page(self.codec.ppn_to_plane(ppn), start)
+        self._maybe_debug_check()
+        return t
+
+    def write_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_writes += 1
+        lbn, off = divmod(lpn, self.pages_per_block)
+        t = start
+        if off == 0:
+            # A stream begins: retire the previous SW log, start a new one.
+            if self.sw is not None:
+                t = self._close_sw(t)
+            block, t = self._alloc_log_block(t)
+            self.sw = SwLog(block, lbn)
+            t = self._append(block, lpn, t)
+        elif (
+            self.sw is not None
+            and self.sw.lbn == lbn
+            and int(self.array.block_write_ptr[self.sw.block]) == off
+        ):
+            t = self._append(self.sw.block, lpn, t)
+        else:
+            t = self._append_rw(lpn, t)
+        self._maybe_debug_check()
+        return t
+
+    # ---- preconditioning --------------------------------------------------------
+
+    def bulk_fill(self, count: int) -> None:
+        """Vectorised sequential fill: whole logical blocks switch-merge
+        directly into data blocks (what the incremental path produces)."""
+        import numpy as np
+
+        ppb = self.pages_per_block
+        full_lbns = count // ppb
+        for lbn in range(full_lbns):
+            block = self._alloc_block(lbn % self.num_planes)
+            lpns = np.arange(lbn * ppb, (lbn + 1) * ppb, dtype=np.int64)
+            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.data_block[lbn] = block
+        for lpn in range(full_lbns * ppb, count):
+            self.write_page(lpn, 0.0)
+
+    # ---- log management --------------------------------------------------------
+
+    def _append(self, block: int, lpn: int, now: float) -> float:
+        """Program the next page of a log block with ``lpn``."""
+        old_ppn = self.current_ppn(lpn)
+        offset = int(self.array.block_write_ptr[block])
+        ppn = self.codec.block_first_ppn(block) + offset
+        self.array.program(ppn, lpn)
+        t = self.clock.program_page(self.codec.block_to_plane(block), now)
+        if old_ppn != -1:
+            self.array.invalidate(old_ppn)
+        self.page_table[lpn] = ppn
+        return t
+
+    def _append_rw(self, lpn: int, now: float) -> float:
+        t = now
+        if self.current_rw is not None and self.array.block_free_pages(self.current_rw) == 0:
+            self.rw_blocks.append(self.current_rw)
+            self.current_rw = None
+        if self.current_rw is None:
+            self.current_rw, t = self._alloc_log_block(t)
+        return self._append(self.current_rw, lpn, t)
+
+    def _alloc_log_block(self, now: float) -> Tuple[int, float]:
+        """Take a block into log duty, reclaiming space if at budget."""
+        t = now
+        while self._log_count >= self.num_log_blocks:
+            if self.rw_blocks:
+                t = self._full_merge(t)
+            elif self.current_rw is not None:
+                self.rw_blocks.append(self.current_rw)
+                self.current_rw = None
+                t = self._full_merge(t)
+            elif self.sw is not None:
+                t = self._close_sw(t)
+            else:
+                raise OutOfSpaceError("log budget exhausted with no log blocks to merge")
+        block = self._alloc_block(self._log_plane_rr % self.num_planes)
+        self._log_plane_rr += 1
+        self._log_count += 1
+        return block, t
+
+    def _alloc_block(self, preferred_plane: int) -> int:
+        """Free block from the preferred plane, else the fullest pool."""
+        if self.array.free_block_count(preferred_plane) > 0:
+            return self.array.allocate_block(preferred_plane)
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        best = int(np.argmax(counts))
+        if counts[best] == 0:
+            raise OutOfSpaceError("no free blocks on any plane")
+        return self.array.allocate_block(best)
+
+    # ---- merges (Section II.A) -------------------------------------------------
+
+    def _close_sw(self, now: float) -> float:
+        """Retire the SW log via switch merge or partial merge."""
+        assert self.sw is not None
+        sw = self.sw
+        self.sw = None
+        block, lbn = sw.block, sw.lbn
+        filled = int(self.array.block_write_ptr[block])
+        old_block = int(self.data_block[lbn])
+        t = now
+        if filled < self.pages_per_block:
+            # Partial merge: pull the not-yet-streamed offsets in.
+            t = self._fill_tail(block, lbn, filled, t)
+            self.fast_stats.partial_merges += 1
+        else:
+            self.fast_stats.switch_merges += 1
+        self.data_block[lbn] = block
+        self._log_count -= 1
+        t = self.map_journal.record_update(t)
+        if old_block != -1:
+            t = self._erase_data_block(old_block, t)
+        return t
+
+    def _fill_tail(self, block: int, lbn: int, first_off: int, now: float) -> float:
+        """Copy offsets ``first_off..P-1``'s latest copies into ``block``."""
+        t = now
+        dst_plane = self.codec.block_to_plane(block)
+        base_lpn = lbn * self.pages_per_block
+        first_ppn = self.codec.block_first_ppn(block)
+        for off in range(first_off, self.pages_per_block):
+            src_ppn = self.current_ppn(base_lpn + off)
+            if src_ppn == -1:
+                continue  # hole: page never written; leave it free
+            self.array.program(first_ppn + off, base_lpn + off)
+            t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(src_ppn)
+            self.page_table[base_lpn + off] = first_ppn + off
+        return t
+
+    def _full_merge(self, now: float) -> float:
+        """Scrub the oldest RW log block (the costly merge)."""
+        victim = self.rw_blocks.popleft()
+        t = now
+        lbns = sorted(
+            {self.array.owner_of(ppn) // self.pages_per_block
+             for ppn in self.array.valid_pages_in_block(victim)}
+        )
+        for lbn in lbns:
+            t = self._merge_lbn(lbn, t)
+            self.fast_stats.merged_lbns += 1
+        if self.array.block_valid[victim] != 0:
+            raise AssertionError(f"full merge left valid pages in victim {victim}")
+        t = self.clock.erase_block(self.codec.block_to_plane(victim), t)
+        self.array.erase(victim)
+        self.array.release_block(victim)
+        self.gc_stats.erased_blocks += 1
+        self._log_count -= 1
+        self.fast_stats.full_merges += 1
+        return t
+
+    def _merge_lbn(self, lbn: int, now: float) -> float:
+        """Rebuild one logical block into a fresh physical block."""
+        t = now
+        if self.sw is not None and self.sw.lbn == lbn:
+            # The merge is about to supersede every page of the active SW
+            # log; keep appending to it afterwards and the later
+            # switch/partial merge would install stale data.  Dissolve it
+            # into the RW queue (its pages all go invalid below, so the
+            # next full merge erases it for free).
+            self.rw_blocks.append(self.sw.block)
+            self.sw = None
+        new_block = self._alloc_block(lbn % self.num_planes)
+        dst_plane = self.codec.block_to_plane(new_block)
+        first_ppn = self.codec.block_first_ppn(new_block)
+        base_lpn = lbn * self.pages_per_block
+        for off in range(self.pages_per_block):
+            src_ppn = self.current_ppn(base_lpn + off)
+            if src_ppn == -1:
+                continue
+            self.array.program(first_ppn + off, base_lpn + off)
+            t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(src_ppn)
+            self.page_table[base_lpn + off] = first_ppn + off
+        old_block = int(self.data_block[lbn])
+        self.data_block[lbn] = new_block
+        t = self.map_journal.record_update(t)
+        if old_block != -1:
+            t = self._erase_data_block(old_block, t)
+        return t
+
+    def _erase_data_block(self, block: int, now: float) -> float:
+        if self.array.block_valid[block] != 0:
+            raise AssertionError(f"retiring data block {block} with valid pages")
+        t = self.clock.erase_block(self.codec.block_to_plane(block), now)
+        self.array.erase(block)
+        self.array.release_block(block)
+        self.gc_stats.erased_blocks += 1
+        return t
+
+    # ---- introspection -----------------------------------------------------------
+
+    def log_blocks_in_use(self) -> int:
+        return self._log_count

@@ -1,0 +1,48 @@
+"""Global Translation Directory.
+
+Maps translation-page virtual numbers (tvpn) to the physical page that
+currently stores that slice of the logical-to-physical map.  Each
+translation page packs ``page_size / 4`` four-byte mapping entries
+(DFTL's layout), so ``tvpn = lpn // entries_per_tpage``.
+
+The GTD itself is small enough to live in SRAM (one entry per
+translation page), so directory lookups are free; only translation
+*page* reads/writes cost flash time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class GlobalTranslationDirectory:
+    ENTRY_BYTES = 4
+
+    def __init__(self, num_lpns: int, page_size: int):
+        if num_lpns < 1:
+            raise ValueError("num_lpns must be >= 1")
+        self.entries_per_tpage = max(1, page_size // self.ENTRY_BYTES)
+        self.num_tpages = math.ceil(num_lpns / self.entries_per_tpage)
+        self._tpage_ppn = np.full(self.num_tpages, -1, dtype=np.int64)
+
+    def tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_tpage
+
+    def lpns_of_tvpn(self, tvpn: int) -> range:
+        first = tvpn * self.entries_per_tpage
+        return range(first, first + self.entries_per_tpage)
+
+    def lookup(self, tvpn: int) -> int:
+        """PPN of a translation page, or -1 if never materialised."""
+        return int(self._tpage_ppn[tvpn])
+
+    def update(self, tvpn: int, ppn: int) -> None:
+        self._tpage_ppn[tvpn] = ppn
+
+    def is_mapped(self, tvpn: int) -> bool:
+        return self._tpage_ppn[tvpn] != -1
+
+    def mapped_count(self) -> int:
+        return int(np.count_nonzero(self._tpage_ppn != -1))

@@ -1,0 +1,225 @@
+"""Shared machinery for hybrid log-block FTLs (Section II.A).
+
+All log-block schemes (BAST, FAST, LAST, Superblock) share a skeleton:
+block-mapped data blocks, a bounded pool of page-mapped log blocks, and
+merge operations that fold logs back into data blocks.  This mixin
+provides the common pieces; the schemes differ in how they *associate*
+log blocks with logical blocks and pick merge victims.
+
+The authoritative ``page_table`` (from :class:`repro.ftl.base.Ftl`)
+resolves reads; these FTLs keep their block tables in SRAM so lookups
+cost no flash time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ftl.base import OutOfSpaceError
+
+
+class MapJournal:
+    """Persistent block-map journal on plane 0.
+
+    Section V.D: "DFTL and FAST both have a large number of page/block
+    mapping information requests arriving to plane 0, which largely
+    burdens plane 0."  Hybrid FTLs keep their (small) block-level tables
+    in SRAM but must persist every table update; this journal appends
+    one map page per table change to a ring of dedicated plane-0
+    blocks, erasing the oldest ring block when full (old journal pages
+    are superseded by construction, so no valid-page copying is needed).
+    """
+
+    PLANE = 0
+
+    def __init__(self, array, clock, ring_blocks: int = 2):
+        if ring_blocks < 1:
+            raise ValueError("ring_blocks must be >= 1")
+        self.array = array
+        self.clock = clock
+        self.ring_blocks = ring_blocks
+        self._ring: list = []
+        self._current = None
+        self.map_writes = 0
+        self.skipped_writes = 0
+
+    def record_update(self, now: float) -> float:
+        """Append one map page; returns the time afterwards."""
+        t = now
+        if self._current is None or self.array.block_free_pages(self._current) == 0:
+            t = self._advance_ring(t)
+            if self._current is None:
+                # plane 0 fully committed to data on an extremely small
+                # device: skip persistence (cost model only).
+                self.skipped_writes += 1
+                return t
+        block = self._current
+        offset = int(self.array.block_write_ptr[block])
+        ppn = self.array.codec.block_first_ppn(block) + offset
+        # Journal pages carry no owner the FTL tracks; mark them stale
+        # immediately (superseded by the next snapshot) so the ring
+        # erases cleanly.
+        self.array.program(ppn, 0)
+        self.array.invalidate(ppn)
+        t = self.clock.program_page(self.PLANE, t)
+        self.map_writes += 1
+        return t
+
+    def _advance_ring(self, now: float) -> float:
+        t = now
+        if len(self._ring) >= self.ring_blocks:
+            oldest = self._ring.pop(0)
+            t = self.clock.erase_block(self.PLANE, t)
+            self.array.erase(oldest)
+            self.array.release_block(oldest)
+        if self.array.free_block_count(self.PLANE) == 0:
+            if not self._ring:
+                # plane 0 exhausted before the journal ever owned a
+                # block (extreme scaled geometries): disable persistence
+                self._current = None
+                return t
+            # recycle our oldest ring block (journal data is superseded)
+            oldest = self._ring.pop(0)
+            t = self.clock.erase_block(self.PLANE, t)
+            self.array.erase(oldest)
+            self.array.release_block(oldest)
+        block = self.array.allocate_block(self.PLANE)
+        self._ring.append(block)
+        self._current = block
+        return t
+
+
+class LogBlockMixin:
+    """Common helpers; the host class must be an ``Ftl`` with
+    ``pages_per_block``, ``num_planes`` and ``data_block`` attributes."""
+
+    def _alloc_block(self, preferred_plane: int) -> int:
+        """Free block from the preferred plane, else the fullest pool."""
+        if self.array.free_block_count(preferred_plane) > 0:
+            return self.array.allocate_block(preferred_plane)
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        best = int(np.argmax(counts))
+        if counts[best] == 0:
+            raise OutOfSpaceError("no free blocks on any plane")
+        return self.array.allocate_block(best)
+
+    def _erase_data_block(self, block: int, now: float) -> float:
+        """Erase and pool a block whose pages are all invalid."""
+        if self.array.block_valid[block] != 0:
+            raise AssertionError(f"retiring block {block} with valid pages")
+        t = self.clock.erase_block(self.codec.block_to_plane(block), now)
+        self.array.erase(block)
+        self.array.release_block(block)
+        self.gc_stats.erased_blocks += 1
+        return t
+
+    def _append_log(self, block: int, lpn: int, now: float) -> float:
+        """Program the next sequential page of a log block with ``lpn``."""
+        old_ppn = self.current_ppn(lpn)
+        offset = int(self.array.block_write_ptr[block])
+        ppn = self.codec.block_first_ppn(block) + offset
+        self.array.program(ppn, lpn)
+        t = self.clock.program_page(self.codec.block_to_plane(block), now)
+        if old_ppn != -1:
+            self.array.invalidate(old_ppn)
+        self.page_table[lpn] = ppn
+        return t
+
+    def _gather_merge_lbn(self, lbn: int, now: float) -> float:
+        """Rebuild one logical block into a fresh physical block.
+
+        Gathers the latest valid copy of every page (data block, any log
+        block) through the controller — the "full merge" of Section II.A.
+        """
+        t = now
+        ppb = self.pages_per_block
+        new_block = self._alloc_block(lbn % self.num_planes)
+        dst_plane = self.codec.block_to_plane(new_block)
+        first_ppn = self.codec.block_first_ppn(new_block)
+        base_lpn = lbn * ppb
+        for off in range(ppb):
+            src_ppn = self.current_ppn(base_lpn + off)
+            if src_ppn == -1:
+                continue
+            self.array.program(first_ppn + off, base_lpn + off)
+            t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(src_ppn)
+            self.page_table[base_lpn + off] = first_ppn + off
+        old_block = int(self.data_block[lbn])
+        self.data_block[lbn] = new_block
+        if old_block != -1:
+            t = self._erase_data_block(old_block, t)
+        return t
+
+    def _log_is_switchable(self, block: int, lbn: int) -> bool:
+        """True when the log block holds every page of ``lbn`` in place
+        (valid, offset-aligned) — eligible for a switch merge."""
+        ppb = self.pages_per_block
+        if int(self.array.block_write_ptr[block]) != ppb:
+            return False
+        first = self.codec.block_first_ppn(block)
+        base_lpn = lbn * ppb
+        for off in range(ppb):
+            ppn = first + off
+            if self.array.owner_of(ppn) != base_lpn + off:
+                return False
+            if self.current_ppn(base_lpn + off) != ppn:
+                return False
+        return True
+
+    def _switch_merge(self, block: int, lbn: int, now: float) -> float:
+        """Promote a fully sequential log block to the data block."""
+        old_block = int(self.data_block[lbn])
+        self.data_block[lbn] = block
+        t = now
+        if old_block != -1:
+            t = self._erase_data_block(old_block, t)
+        return t
+
+    def _fill_tail(self, block: int, lbn: int, first_off: int, now: float) -> float:
+        """Copy offsets ``first_off..P-1``'s latest copies into ``block``
+        (the partial-merge move of Section II.A)."""
+        t = now
+        ppb = self.pages_per_block
+        dst_plane = self.codec.block_to_plane(block)
+        base_lpn = lbn * ppb
+        first_ppn = self.codec.block_first_ppn(block)
+        for off in range(first_off, ppb):
+            src_ppn = self.current_ppn(base_lpn + off)
+            if src_ppn == -1:
+                continue  # hole: page never written; leave it free
+            self.array.program(first_ppn + off, base_lpn + off)
+            t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(src_ppn)
+            self.page_table[base_lpn + off] = first_ppn + off
+        return t
+
+    def _bulk_fill_data_blocks(self, count: int) -> None:
+        """Vectorised sequential preconditioning shared by the hybrids."""
+        ppb = self.pages_per_block
+        full_lbns = count // ppb
+        for lbn in range(full_lbns):
+            block = self._alloc_block(lbn % self.num_planes)
+            lpns = np.arange(lbn * ppb, (lbn + 1) * ppb, dtype=np.int64)
+            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.data_block[lbn] = block
+        for lpn in range(full_lbns * ppb, count):
+            self.write_page(lpn, 0.0)
+
+    def log_block_summary(self) -> dict:
+        """Introspection for tests/reports; subclasses may extend."""
+        return {
+            "data_blocks_mapped": int(np.count_nonzero(self.data_block != -1)),
+        }
+
+
+def latest_copy_block(ftl, lbn: int) -> Optional[int]:
+    """Diagnostic: the data block currently registered for ``lbn``."""
+    block = int(ftl.data_block[lbn])
+    return None if block == -1 else block

@@ -1,0 +1,228 @@
+"""Ideal page-mapping FTL: the whole map in SRAM, no translation traffic.
+
+Serves two purposes:
+
+* an upper-bound reference — how much of DLOOP's cost is the
+  demand-paged mapping machinery;
+* the striping ablation (A2 in DESIGN.md) — the write-placement policy
+  is pluggable: ``lpn`` (DLOOP's Eq. 1), ``roaming`` (DFTL-style single
+  active block), or ``random`` (uniform random plane per write).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.ftl.allocator import PlaneAllocator, RoamingAllocator
+from repro.flash.array import FlashStateError
+from repro.ftl.base import Ftl, OutOfSpaceError
+
+STRIPING_POLICIES = ("lpn", "roaming", "random")
+
+
+class PageMapFtl(Ftl):
+    """Pure page-mapping FTL with unlimited SRAM."""
+
+    name = "pagemap"
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        timing: TimingParams | None = None,
+        *,
+        striping: str = "lpn",
+        use_copyback: bool = True,
+        gc_threshold: int = 3,
+        max_gc_passes: int = 8,
+        seed: int = 0,
+        gc_victim_policy: str = "greedy",
+        debug_checks: bool = False,
+    ):
+        super().__init__(
+            geometry,
+            timing,
+            gc_threshold=gc_threshold,
+            max_gc_passes=max_gc_passes,
+            gc_victim_policy=gc_victim_policy,
+            debug_checks=debug_checks,
+        )
+        if striping not in STRIPING_POLICIES:
+            raise ValueError(f"striping must be one of {STRIPING_POLICIES}")
+        self.striping = striping
+        self.use_copyback = use_copyback
+        self.num_planes = geometry.num_planes
+        self._rng = random.Random(seed)
+        if striping == "roaming":
+            self.roaming = RoamingAllocator(self.array)
+            self.allocators = None
+        else:
+            self.roaming = None
+            self.allocators = [PlaneAllocator(p, self.array) for p in range(self.num_planes)]
+
+    # ---- placement -----------------------------------------------------------
+
+    def _place(self, lpn: int) -> int:
+        """Program the new copy of ``lpn``; returns its PPN."""
+        if self.striping == "roaming":
+            return self.roaming.allocate(lpn)
+        if self.striping == "lpn":
+            plane = lpn % self.num_planes
+        else:
+            plane = self._rng.randrange(self.num_planes)
+        return self.allocators[plane].allocate(lpn)
+
+    def _active_blocks(self, plane: int) -> set:
+        if self.roaming is not None:
+            return self.roaming.active_blocks()
+        return self.allocators[plane].active_blocks()
+
+    # ---- host interface ----------------------------------------------------------
+
+    def read_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn = self.current_ppn(lpn)
+        if ppn == -1:
+            self.stats.unmapped_reads += 1
+            return start
+        return self.clock.read_page(self.codec.ppn_to_plane(ppn), start)
+
+    def write_page(self, lpn: int, start: float) -> float:
+        self.check_lpn(lpn)
+        self.stats.host_writes += 1
+        if self.roaming is not None:
+            start = self._maybe_gc(self.roaming.peek_plane(), start)
+        elif self.striping == "lpn":
+            start = self._maybe_gc(lpn % self.num_planes, start)
+        old_ppn = self.current_ppn(lpn)
+        try:
+            new_ppn = self._place(lpn)
+        except FlashStateError as exc:
+            raise OutOfSpaceError(f"cannot place write for lpn {lpn} — device full") from exc
+        plane = self.codec.ppn_to_plane(new_ppn)
+        t = self.clock.program_page(plane, start)
+        if old_ppn != -1:
+            self.array.invalidate(old_ppn)
+        self.page_table[lpn] = new_ppn
+        t = self._maybe_gc(plane, t)
+        self._maybe_debug_check()
+        return t
+
+    # ---- preconditioning --------------------------------------------------------
+
+    def bulk_fill(self, count: int) -> None:
+        """Vectorised sequential fill matching each placement policy."""
+        import numpy as np
+
+        ppb = self.geometry.pages_per_block
+        planes = self.num_planes
+        if self.striping == "lpn":
+            for plane in range(planes):
+                lpns = np.arange(plane, count, planes, dtype=np.int64)
+                full = (len(lpns) // ppb) * ppb
+                for start in range(0, full, ppb):
+                    block = self.array.allocate_block(plane)
+                    self.page_table[lpns[start : start + ppb]] = self.array.bulk_fill_block(
+                        block, lpns[start : start + ppb]
+                    )
+                for lpn in lpns[full:]:
+                    self.write_page(int(lpn), 0.0)
+            return
+        # roaming / random converge to block-granular round-robin
+        full_blocks = count // ppb
+        for i in range(full_blocks):
+            plane = i % planes
+            block = self.array.allocate_block(plane)
+            lpns = np.arange(i * ppb, (i + 1) * ppb, dtype=np.int64)
+            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+        for lpn in range(full_blocks * ppb, count):
+            self.write_page(lpn, 0.0)
+
+    # ---- garbage collection ---------------------------------------------------------
+
+    def _gc_exclude(self, plane: int) -> set:
+        return self._active_blocks(plane)
+
+    def _gc_close_active(self, plane: int):
+        if self.roaming is not None:
+            return None  # the roaming block may sit on another plane
+        allocator = self.allocators[plane]
+        block = allocator.current_block
+        if block is None or self.array.block_invalid[block] == 0:
+            return None
+        allocator.current_block = None
+        return block
+
+    def _gc_max_valid(self, plane: int):
+        if self.roaming is not None:
+            return None  # destinations roam to other planes
+        allocator = self.allocators[plane]
+        current_free = (
+            self.array.block_free_pages(allocator.current_block)
+            if allocator.current_block is not None
+            else 0
+        )
+        ppb = self.geometry.pages_per_block
+        avail = current_free + max(0, self.array.free_block_count(plane) - 1) * ppb
+        # Allow for parity waste up to ~half the moves; overruns degrade
+        # gracefully to cross-plane controller copies in _collect.
+        return (avail * 2) // 3 if self.use_copyback else avail
+
+    def _gc_alloc_any(self, owner: int) -> int:
+        if self.roaming is not None:
+            return self.roaming.allocate(owner)
+        counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
+        dst = max(range(self.num_planes), key=lambda p: counts[p])
+        return self.allocators[dst].allocate(owner)
+
+    def _collect(self, plane: int, victim: int, now: float) -> float:
+        t = now
+        valids = list(self.array.valid_pages_in_block(victim))
+        if self.roaming is None and self.use_copyback:
+            from repro.ftl.gcontrol import parity_minimizing_order
+
+            valids = parity_minimizing_order(valids, self.codec, self.allocators[plane])
+        overflow = False
+        for ppn in valids:
+            lpn = self.array.owner_of(ppn)
+            if self.roaming is not None:
+                new_ppn = self.roaming.allocate(lpn)
+                dst_plane = self.codec.ppn_to_plane(new_ppn)
+                t = self.clock.inter_plane_copy(plane, dst_plane, t)
+                self.gc_stats.controller_moves += 1
+            elif overflow:
+                new_ppn = self._gc_alloc_any(lpn)
+                t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                self.gc_stats.controller_moves += 1
+            elif self.use_copyback:
+                parity = self.codec.page_parity(ppn)
+                try:
+                    new_ppn, skipped = self.allocators[plane].allocate_with_parity(lpn, parity)
+                except FlashStateError:
+                    overflow = True
+                    new_ppn = self._gc_alloc_any(lpn)
+                    t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                    self.gc_stats.controller_moves += 1
+                else:
+                    self.gc_stats.wasted_pages += skipped
+                    self.clock.counters.skipped_pages += skipped
+                    t = self.clock.copy_back(plane, t)
+                    self.gc_stats.copyback_moves += 1
+            else:
+                try:
+                    new_ppn = self.allocators[plane].allocate(lpn)
+                except FlashStateError:
+                    overflow = True
+                    new_ppn = self._gc_alloc_any(lpn)
+                t = self.clock.inter_plane_copy(plane, plane, t)
+                self.gc_stats.controller_moves += 1
+            self.array.invalidate(ppn)
+            self.page_table[lpn] = new_ppn
+            self.gc_stats.moved_pages += 1
+        t = self.clock.erase_block(plane, t)
+        self.array.erase(victim)
+        self.array.release_block(victim)
+        self.gc_stats.erased_blocks += 1
+        return t

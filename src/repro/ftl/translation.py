@@ -1,0 +1,172 @@
+"""Demand-paged mapping traffic shared by DLOOP and DFTL.
+
+Implements the CMT-miss / dirty-eviction protocol of the paper's
+algorithm (Fig. 6, lines 4-14):
+
+* miss with a full CMT -> evict the segmented-LRU victim; if it was
+  updated since load, read-modify-write its translation page;
+* miss on a materialised translation page -> read that page;
+* GC that relocates data pages must fix their mapping entries: cached
+  entries flip dirty for free, the rest are batched into one
+  read-modify-write per affected translation page (DFTL's batching).
+
+Placement of translation pages is a policy callable: DLOOP stripes
+them (``tvpn % num_planes``, Section II.B), DFTL pins them to plane 0
+(the contention the paper observes in Section V.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, Tuple
+
+from repro.flash.address import encode_translation_owner
+from repro.flash.array import FlashArray, FlashStateError
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.ftl.cmt import CachedMappingTable
+from repro.ftl.gtd import GlobalTranslationDirectory
+
+
+class _Allocator(Protocol):
+    def allocate(self, owner: int) -> int: ...
+
+
+@dataclass
+class TranslationStats:
+    tpage_reads: int = 0
+    tpage_writes: int = 0
+    gc_batched_updates: int = 0
+    offpolicy_tpage_writes: int = 0
+
+
+class TranslationManager:
+    """Charges flash costs for mapping lookups and write-backs."""
+
+    #: How GC charges mapping updates for relocated data pages:
+    #: - "batched": one read-modify-write per affected translation page
+    #:   (DFTL's batch update — the default; grouping moved pages by
+    #:   translation page bounds the cost at one RMW per tvpn);
+    #: - "cached": moved entries are folded into the CMT as dirty and
+    #:   written back lazily on eviction.  Available for study: it
+    #:   pollutes the CMT and can spiral under GC-heavy load;
+    #: - "free": only cached entries flip dirty; stale translation pages
+    #:   are assumed patched opportunistically at no modelled cost
+    #:   (optimistic bound, closest to the paper's reported magnitudes).
+    GC_MODES = ("batched", "cached", "free")
+
+    def __init__(
+        self,
+        array: FlashArray,
+        clock: FlashTimekeeper,
+        cmt: CachedMappingTable,
+        gtd: GlobalTranslationDirectory,
+        plane_of_tvpn: Callable[[int], int],
+        allocator_of_plane: Callable[[int], _Allocator],
+        gc_hook: Callable[[int, float], float],
+        gc_mode: str = "batched",
+        fallback_allocator: Callable[[], _Allocator] | None = None,
+    ):
+        if gc_mode not in self.GC_MODES:
+            raise ValueError(f"gc_mode must be one of {self.GC_MODES}")
+        self.array = array
+        self.clock = clock
+        self.cmt = cmt
+        self.gtd = gtd
+        self.plane_of_tvpn = plane_of_tvpn
+        self.allocator_of_plane = allocator_of_plane
+        self.gc_hook = gc_hook
+        self.gc_mode = gc_mode
+        self.fallback_allocator = fallback_allocator
+        self.stats = TranslationStats()
+
+    # ---- core protocol -----------------------------------------------------
+
+    def charge_lookup(self, lpn: int, now: float) -> float:
+        """Bring ``lpn``'s mapping into the CMT; returns time afterwards."""
+        if self.cmt.touch(lpn):
+            return now
+        t = now
+        while self.cmt.is_full:
+            t = self._evict(t)
+        tvpn = self.gtd.tvpn_of(lpn)
+        if self.gtd.is_mapped(tvpn):
+            ppn = self.gtd.lookup(tvpn)
+            t = self.clock.read_page(self.array.codec.ppn_to_plane(ppn), t)
+            self.stats.tpage_reads += 1
+        self.cmt.insert(lpn, dirty=False)
+        return t
+
+    def charge_update(self, lpn: int, now: float) -> float:
+        """Mark ``lpn``'s mapping updated (entry must end up cached dirty)."""
+        if self.cmt.touch(lpn):
+            self.cmt.mark_dirty(lpn)
+            return now
+        t = now
+        while self.cmt.is_full:
+            t = self._evict(t)
+        self.cmt.insert(lpn, dirty=True)
+        return t
+
+    def _evict(self, now: float) -> float:
+        lpn, dirty = self.cmt.evict()
+        if dirty:
+            return self.write_back(self.gtd.tvpn_of(lpn), now)
+        return now
+
+    def write_back(self, tvpn: int, now: float) -> float:
+        """Read-modify-write one translation page to flash."""
+        # Reclaim space on the target plane *before* taking a page from
+        # it (it may be another plane than the one being collected).
+        t = self.gc_hook(self.plane_of_tvpn(tvpn), now)
+        old_ppn = self.gtd.lookup(tvpn)
+        if old_ppn != -1:
+            t = self.clock.read_page(self.array.codec.ppn_to_plane(old_ppn), t)
+            self.stats.tpage_reads += 1
+            self.array.invalidate(old_ppn)
+        plane = self.plane_of_tvpn(tvpn)
+        allocator = self.allocator_of_plane(plane)
+        owner = encode_translation_owner(tvpn)
+        try:
+            new_ppn = allocator.allocate(owner)
+        except FlashStateError:
+            # Policy plane exhausted mid-collection: place the page on
+            # any plane with space.  The GTD (SRAM) points anywhere, so
+            # this trades placement policy for guaranteed progress.
+            if self.fallback_allocator is None:
+                raise
+            new_ppn = self.fallback_allocator().allocate(owner)
+            self.stats.offpolicy_tpage_writes += 1
+        actual_plane = self.array.codec.ppn_to_plane(new_ppn)
+        t = self.clock.program_page(actual_plane, t)
+        self.stats.tpage_writes += 1
+        self.gtd.update(tvpn, new_ppn)
+        return self.gc_hook(actual_plane, t)
+
+    # ---- GC support -------------------------------------------------------------
+
+    def gc_update_mappings(self, moved: Iterable[Tuple[int, int]], now: float) -> float:
+        """Fix mapping entries for data pages GC just relocated.
+
+        ``moved`` is ``(lpn, new_ppn)`` pairs; see :data:`GC_MODES` for
+        the cost model applied.
+        """
+        t = now
+        if self.gc_mode == "cached":
+            for lpn, _new_ppn in moved:
+                t = self.charge_update(lpn, t)
+            return t
+        if self.gc_mode == "free":
+            for lpn, _new_ppn in moved:
+                if lpn in self.cmt:
+                    self.cmt.mark_dirty(lpn)
+            return t
+        pending_tvpns: set[int] = set()
+        for lpn, _new_ppn in moved:
+            if lpn in self.cmt:
+                self.cmt.mark_dirty(lpn)
+            else:
+                pending_tvpns.add(self.gtd.tvpn_of(lpn))
+        for tvpn in sorted(pending_tvpns):
+            t = self.write_back(tvpn, t)
+            self.stats.gc_batched_updates += 1
+        return t

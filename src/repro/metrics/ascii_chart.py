@@ -1,0 +1,74 @@
+"""Terminal-friendly charts for the benchmark/report output.
+
+No plotting dependency is available offline, so the harness renders its
+"figures" as unicode bar charts and sparklines — enough to eyeball the
+trends the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values (linear scale)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError("bar chart values must be >= 0")
+        filled = value / peak * width
+        whole = int(filled)
+        remainder = filled - whole
+        partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if whole < width else ""
+        bar = "█" * whole + partial
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARKS[0] * len(values)
+    span = hi - lo
+    return "".join(_SPARKS[int((v - lo) / span * (len(_SPARKS) - 1))] for v in values)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence | None = None,
+    title: str | None = None,
+) -> str:
+    """Sparkline per series with min/max annotations — a cheap 'figure'."""
+    lines = [title] if title else []
+    if x_labels is not None:
+        lines.append(f"x: {list(x_labels)}")
+    label_width = max((len(str(k)) for k in series), default=0)
+    for label, values in series.items():
+        values = list(values)
+        if not values:
+            continue
+        lines.append(
+            f"{str(label).ljust(label_width)}  {sparkline(values)}  "
+            f"[{min(values):.4g} .. {max(values):.4g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Plain-text table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], columns: Iterable[str] | None = None, title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in table:
+        out.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)

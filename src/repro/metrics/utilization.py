@@ -1,0 +1,63 @@
+"""Resource utilisation: how busy each plane and channel was.
+
+Section II.C argues channel time is the scarce resource (which is why
+copy-back's zero bus occupancy matters); these helpers turn the
+timekeeper's busy-time accumulators into utilisation fractions and a
+bottleneck summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.counters import FlashCounters
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    duration_us: float
+    channel_utilization: np.ndarray
+    plane_utilization: np.ndarray
+
+    @property
+    def peak_channel(self) -> float:
+        return float(self.channel_utilization.max()) if len(self.channel_utilization) else 0.0
+
+    @property
+    def mean_channel(self) -> float:
+        return float(self.channel_utilization.mean()) if len(self.channel_utilization) else 0.0
+
+    @property
+    def peak_plane(self) -> float:
+        return float(self.plane_utilization.max()) if len(self.plane_utilization) else 0.0
+
+    @property
+    def mean_plane(self) -> float:
+        return float(self.plane_utilization.mean()) if len(self.plane_utilization) else 0.0
+
+    @property
+    def bottleneck(self) -> str:
+        """Which resource class is closer to saturation."""
+        return "channel" if self.peak_channel >= self.peak_plane else "plane"
+
+    def row(self) -> dict:
+        return {
+            "chan_util_mean_%": round(100 * self.mean_channel, 1),
+            "chan_util_peak_%": round(100 * self.peak_channel, 1),
+            "plane_util_mean_%": round(100 * self.mean_plane, 1),
+            "plane_util_peak_%": round(100 * self.peak_plane, 1),
+            "bottleneck": self.bottleneck,
+        }
+
+
+def utilization(counters: FlashCounters, duration_us: float) -> UtilizationReport:
+    """Busy-time fractions over a simulation of ``duration_us``."""
+    if duration_us <= 0:
+        raise ValueError("duration_us must be > 0")
+    return UtilizationReport(
+        duration_us=duration_us,
+        channel_utilization=counters.channel_busy_us / duration_us,
+        plane_utilization=counters.plane_busy_us / duration_us,
+    )

@@ -1,0 +1,37 @@
+"""Wear-leveling statistics over per-block erase counts.
+
+The paper argues DLOOP "implicitly wear-levels all blocks on one plane
+without an external wear-leveling mechanism" (Section III.C); these
+statistics quantify that claim in tests and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.array import FlashArray
+
+
+@dataclass(frozen=True)
+class WearStats:
+    total_erases: int
+    max_erases: int
+    mean_erases: float
+    std_erases: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation: std / mean (0 = perfectly even)."""
+        return self.std_erases / self.mean_erases if self.mean_erases > 0 else 0.0
+
+
+def wear_stats(array: FlashArray) -> WearStats:
+    counts = array.block_erase_count
+    return WearStats(
+        total_erases=int(counts.sum()),
+        max_erases=int(counts.max()),
+        mean_erases=float(counts.mean()),
+        std_erases=float(counts.std()),
+    )

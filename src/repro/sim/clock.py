@@ -1,0 +1,45 @@
+"""Simulated-time helpers.
+
+The whole simulator works in microseconds (float).  These helpers keep
+unit conversions and human-readable formatting in one place so modules
+never multiply by bare constants.
+"""
+
+from __future__ import annotations
+
+US_PER_MS = 1_000.0
+US_PER_S = 1_000_000.0
+US_PER_MIN = 60 * US_PER_S
+
+
+def ms(value_us: float) -> float:
+    """Microseconds -> milliseconds."""
+    return value_us / US_PER_MS
+
+
+def seconds(value_us: float) -> float:
+    """Microseconds -> seconds."""
+    return value_us / US_PER_S
+
+
+def from_ms(value_ms: float) -> float:
+    """Milliseconds -> microseconds."""
+    return value_ms * US_PER_MS
+
+
+def from_seconds(value_s: float) -> float:
+    """Seconds -> microseconds."""
+    return value_s * US_PER_S
+
+
+def format_us(value_us: float) -> str:
+    """Human-readable duration: picks µs / ms / s / min."""
+    if value_us < 0:
+        raise ValueError("durations cannot be negative")
+    if value_us < US_PER_MS:
+        return f"{value_us:.1f}us"
+    if value_us < US_PER_S:
+        return f"{ms(value_us):.2f}ms"
+    if value_us < US_PER_MIN:
+        return f"{seconds(value_us):.2f}s"
+    return f"{value_us / US_PER_MIN:.2f}min"

@@ -1,0 +1,112 @@
+"""Heap-based discrete-event simulation core.
+
+The engine keeps a priority queue of ``(time, sequence, callback)``
+entries.  Events scheduled for the same instant fire in scheduling
+order, which makes simulations deterministic.  Times are microseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule_at`.
+
+    Holds enough state to support O(1) cancellation (lazy deletion:
+    cancelled events stay in the heap but are skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}us, seq={self.seq}, {state})"
+
+
+class Engine:
+    """Discrete-event simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Scheduling in the past raises ``ValueError`` — events must not
+        rewind the clock.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        handle.cancelled = True
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

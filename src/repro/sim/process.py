@@ -1,0 +1,131 @@
+"""Process-style (coroutine) layer over the event engine.
+
+DiskSim-era simulators are callback-driven; modern DES frameworks also
+offer *processes* — generators that ``yield`` what they wait for and
+resume when it happens.  This layer provides that style on top of
+:class:`repro.sim.engine.Engine` without changing it:
+
+```python
+def worker(env):
+    yield env.timeout(10.0)          # sleep 10 us
+    done = env.event()
+    env.schedule(5.0, done.succeed, "payload")
+    value = yield done               # wait for a signal
+    ...
+
+env = Environment()
+env.process(worker(env))
+env.run()
+```
+
+A process may yield a ``timeout``, an ``Event``, or another process
+(joins on its completion).  Exceptions inside a process propagate when
+the engine runs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Engine
+
+
+class Event:
+    """A one-shot signal processes can wait on."""
+
+    def __init__(self, env: "Environment"):
+        self._env = env
+        self._value: Any = None
+        self.triggered = False
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter at the current time."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self._value = value
+        for process in self._waiters:
+            self._env._engine.schedule_after(0.0, process._resume, value)
+        self._waiters.clear()
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self._env._engine.schedule_after(0.0, process._resume, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout:
+    """A delay a process can yield."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay = delay
+
+
+class Process:
+    """A running generator; itself awaitable (join semantics)."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        self._env = env
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._done_event = Event(env)
+        env._engine.schedule_after(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._done_event.succeed(stop.value)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self._env._engine.schedule_after(target.delay, self._resume, None)
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target._done_event._add_waiter(self)
+        else:
+            raise TypeError(f"process yielded unsupported {target!r}")
+
+
+class Environment:
+    """SimPy-flavoured facade over :class:`Engine`."""
+
+    def __init__(self, engine: Optional[Engine] = None):
+        self._engine = engine if engine is not None else Engine()
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        self._engine.schedule_after(delay, callback, *args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self._engine.run(until=until)

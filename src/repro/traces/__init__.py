@@ -1,0 +1,56 @@
+"""Workload traces: parsers for on-disk formats and calibrated synthetic
+generators standing in for the five enterprise traces of Table II.
+"""
+
+from repro.traces.model import TraceRequest, WorkloadSpec, SizeMix
+from repro.traces.zipf import ZipfSampler
+from repro.traces.synthetic import (
+    generate,
+    financial1,
+    financial2,
+    tpcc,
+    exchange,
+    build_server,
+    named_workloads,
+    make_workload,
+    web_server,
+    streaming,
+    boot_storm,
+    EXTRA_TRACE_NAMES,
+)
+from repro.traces.stats import TraceStats, measure
+from repro.traces.analysis import WorkloadCharacter, characterize, compare_characters
+from repro.traces.parser import (
+    parse_disksim,
+    write_disksim,
+    parse_spc,
+    write_spc,
+)
+
+__all__ = [
+    "TraceRequest",
+    "WorkloadSpec",
+    "SizeMix",
+    "ZipfSampler",
+    "generate",
+    "financial1",
+    "financial2",
+    "tpcc",
+    "exchange",
+    "build_server",
+    "named_workloads",
+    "make_workload",
+    "web_server",
+    "streaming",
+    "boot_storm",
+    "EXTRA_TRACE_NAMES",
+    "TraceStats",
+    "measure",
+    "WorkloadCharacter",
+    "characterize",
+    "compare_characters",
+    "parse_disksim",
+    "write_disksim",
+    "parse_spc",
+    "write_spc",
+]

@@ -1,0 +1,92 @@
+"""Trace data model.
+
+A :class:`TraceRequest` is device-independent: byte-addressed offset and
+size plus an arrival timestamp.  :class:`WorkloadSpec` captures the
+statistical fingerprint of a workload (Table II plus the qualitative
+descriptions of Section V.A) that the synthetic generator reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    arrival_us: float
+    offset_bytes: int
+    size_bytes: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        if self.offset_bytes < 0:
+            raise ValueError("offset_bytes must be >= 0")
+        if self.arrival_us < 0:
+            raise ValueError("arrival_us must be >= 0")
+
+    @property
+    def end_bytes(self) -> int:
+        return self.offset_bytes + self.size_bytes
+
+
+@dataclass(frozen=True)
+class SizeMix:
+    """Discrete request-size mixture: sizes in bytes with weights."""
+
+    sizes: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be equal-length, non-empty")
+        if any(s < 1 for s in self.sizes):
+            raise ValueError("sizes must be positive")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+
+    @property
+    def mean_bytes(self) -> float:
+        total = sum(self.weights)
+        return sum(s * w for s, w in zip(self.sizes, self.weights)) / total
+
+    @classmethod
+    def fixed(cls, size_bytes: int) -> "SizeMix":
+        return cls((size_bytes,), (1.0,))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Statistical fingerprint the synthetic generator reproduces."""
+
+    name: str
+    num_requests: int
+    write_fraction: float
+    request_rate_per_s: float
+    size_mix: SizeMix
+    footprint_bytes: int
+    sequential_fraction: float = 0.1
+    zipf_theta: float = 0.9
+    chunk_bytes: int = 64 * KB
+    align_bytes: int = 4 * KB
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise ValueError("sequential_fraction must be in [0, 1]")
+        if self.request_rate_per_s <= 0:
+            raise ValueError("request_rate_per_s must be > 0")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.footprint_bytes < self.chunk_bytes:
+            raise ValueError("footprint must cover at least one chunk")
+
+    @property
+    def mean_interarrival_us(self) -> float:
+        return 1e6 / self.request_rate_per_s

@@ -1,0 +1,101 @@
+"""Trace file formats.
+
+Two ASCII formats, matching the toolchain the paper's simulator uses:
+
+* **DiskSim 3.0 ASCII**: ``arrival_ms devno blkno bcount flags`` with
+  512-byte blocks; ``flags`` bit 0 set = read (DiskSim convention).
+* **SPC (Storage Performance Council)**: ``asu,lba,size,opcode,timestamp``
+  with byte-addressed size, 512-byte LBA units and seconds timestamps —
+  the format of the Financial1/2 traces [18].
+
+Both directions (parse/write) round-trip so synthetic traces can be
+saved and replayed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.traces.model import TraceRequest
+
+SECTOR = 512
+
+Source = Union[str, TextIO, Iterable[str]]
+
+
+def _lines(source: Source) -> Iterator[str]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as handle:
+            yield from handle
+    else:
+        yield from source
+
+
+# ---- DiskSim ASCII ------------------------------------------------------------
+
+
+def parse_disksim(source: Source) -> List[TraceRequest]:
+    """Parse DiskSim 3.0 ASCII: ``arrival_ms devno blkno bcount flags``."""
+    requests: List[TraceRequest] = []
+    for lineno, line in enumerate(_lines(source), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 5:
+            raise ValueError(f"line {lineno}: expected 5 fields, got {len(parts)}")
+        arrival_ms, _devno, blkno, bcount, flags = parts
+        is_read = int(flags) & 1 == 1
+        requests.append(
+            TraceRequest(
+                arrival_us=float(arrival_ms) * 1000.0,
+                offset_bytes=int(blkno) * SECTOR,
+                size_bytes=int(bcount) * SECTOR,
+                is_write=not is_read,
+            )
+        )
+    return requests
+
+
+def write_disksim(requests: Iterable[TraceRequest], handle: TextIO, devno: int = 0) -> None:
+    for r in requests:
+        blkno = r.offset_bytes // SECTOR
+        bcount = max(1, -(-r.size_bytes // SECTOR))
+        flags = 0 if r.is_write else 1
+        handle.write(f"{r.arrival_us / 1000.0:.6f} {devno} {blkno} {bcount} {flags}\n")
+
+
+# ---- SPC format ------------------------------------------------------------------
+
+
+def parse_spc(source: Source) -> List[TraceRequest]:
+    """Parse SPC: ``asu,lba,size,opcode,timestamp`` (lba in 512 B units)."""
+    requests: List[TraceRequest] = []
+    for lineno, line in enumerate(_lines(source), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) < 5:
+            raise ValueError(f"line {lineno}: expected >=5 comma fields, got {len(parts)}")
+        _asu, lba, size, opcode, timestamp = parts[:5]
+        op = opcode.strip().lower()
+        if op not in ("r", "w"):
+            raise ValueError(f"line {lineno}: bad opcode {opcode!r}")
+        requests.append(
+            TraceRequest(
+                arrival_us=float(timestamp) * 1e6,
+                offset_bytes=int(lba) * SECTOR,
+                size_bytes=int(size),
+                is_write=op == "w",
+            )
+        )
+    return requests
+
+
+def write_spc(requests: Iterable[TraceRequest], handle: TextIO, asu: int = 0) -> None:
+    for r in requests:
+        opcode = "w" if r.is_write else "r"
+        handle.write(
+            f"{asu},{r.offset_bytes // SECTOR},{r.size_bytes},{opcode},{r.arrival_us / 1e6:.6f}\n"
+        )

@@ -1,0 +1,53 @@
+"""Measured trace statistics — the quantities of Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.traces.model import KB, TraceRequest
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    name: str
+    num_writes: int
+    num_reads: int
+    write_percent: float
+    mean_size_kb: float
+    rate_per_s: float
+    duration_min: float
+
+    def row(self) -> dict:
+        return {
+            "Traces": self.name,
+            "Number of writes": self.num_writes,
+            "Number of reads": self.num_reads,
+            "Write(%)": round(self.write_percent, 1),
+            "Ave. size": f"{self.mean_size_kb:.1f}KB",
+            "Access rate": f"{self.rate_per_s:.1f} reqs/sec",
+            "Duration": f"{self.duration_min:.1f} min",
+        }
+
+
+def measure(name: str, trace: Iterable[TraceRequest]) -> TraceStats:
+    requests: List[TraceRequest] = list(trace)
+    if not requests:
+        raise ValueError("empty trace")
+    writes = sum(1 for r in requests if r.is_write)
+    reads = len(requests) - writes
+    sizes = np.array([r.size_bytes for r in requests], dtype=np.float64)
+    arrivals = np.array([r.arrival_us for r in requests], dtype=np.float64)
+    span_us = float(arrivals.max() - arrivals.min())
+    rate = (len(requests) - 1) / (span_us / 1e6) if span_us > 0 else float("inf")
+    return TraceStats(
+        name=name,
+        num_writes=writes,
+        num_reads=reads,
+        write_percent=100.0 * writes / len(requests),
+        mean_size_kb=float(sizes.mean()) / KB,
+        rate_per_s=rate,
+        duration_min=span_us / 60e6,
+    )

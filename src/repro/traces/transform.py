@@ -1,0 +1,100 @@
+"""Trace transformations.
+
+Replaying a real (or saved) trace against a scaled simulated device
+needs the standard adjustments the storage-trace literature uses:
+
+* **rate scaling** — compress/stretch the arrival timeline (the paper's
+  traces span hours; scaled replays need minutes);
+* **windowing** — cut a time slice (the paper uses 15-minute intervals
+  of Build/Exchange, Section V.A);
+* **address fitting** — wrap or scale the address space onto a smaller
+  device while preserving locality structure;
+* **filtering / merging** — reads-only, writes-only, device mixes.
+
+All transforms are pure (new request lists; inputs untouched).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence
+
+from repro.traces.model import TraceRequest
+
+
+def scale_rate(trace: Iterable[TraceRequest], factor: float) -> List[TraceRequest]:
+    """Multiply the arrival *rate* by ``factor`` (>1 = more intense)."""
+    if factor <= 0:
+        raise ValueError("factor must be > 0")
+    return [
+        TraceRequest(r.arrival_us / factor, r.offset_bytes, r.size_bytes, r.is_write)
+        for r in trace
+    ]
+
+
+def time_window(
+    trace: Iterable[TraceRequest], start_us: float, end_us: float, *, rebase: bool = True
+) -> List[TraceRequest]:
+    """Requests arriving in ``[start_us, end_us)``; optionally rebased to 0."""
+    if end_us <= start_us:
+        raise ValueError("end_us must be > start_us")
+    base = start_us if rebase else 0.0
+    return [
+        TraceRequest(r.arrival_us - base, r.offset_bytes, r.size_bytes, r.is_write)
+        for r in trace
+        if start_us <= r.arrival_us < end_us
+    ]
+
+
+def fit_addresses(
+    trace: Iterable[TraceRequest], capacity_bytes: int, *, mode: str = "wrap"
+) -> List[TraceRequest]:
+    """Map addresses onto a device of ``capacity_bytes``.
+
+    ``wrap``  — modulo (preserves fine-grain locality; far regions alias);
+    ``scale`` — linear compression of offsets (preserves the global
+    layout; shrinks runs' spacing, request sizes untouched).
+    """
+    if capacity_bytes < 1:
+        raise ValueError("capacity_bytes must be >= 1")
+    if mode not in ("wrap", "scale"):
+        raise ValueError("mode must be 'wrap' or 'scale'")
+    requests = list(trace)
+    out: List[TraceRequest] = []
+    if mode == "scale":
+        peak = max((r.end_bytes for r in requests), default=0)
+        ratio = 1.0 if peak <= capacity_bytes else capacity_bytes / peak
+    for r in requests:
+        size = min(r.size_bytes, capacity_bytes)
+        if mode == "wrap":
+            offset = r.offset_bytes % capacity_bytes
+        else:
+            offset = int(r.offset_bytes * ratio)
+        if offset + size > capacity_bytes:
+            offset = capacity_bytes - size
+        out.append(TraceRequest(r.arrival_us, offset, size, r.is_write))
+    return out
+
+
+def filter_ops(trace: Iterable[TraceRequest], *, writes: bool = True, reads: bool = True) -> List[TraceRequest]:
+    """Keep only the selected operation kinds."""
+    if not writes and not reads:
+        raise ValueError("at least one of writes/reads must be kept")
+    return [r for r in trace if (r.is_write and writes) or (not r.is_write and reads)]
+
+
+def merge_traces(*traces: Sequence[TraceRequest]) -> List[TraceRequest]:
+    """Interleave several traces by arrival time (stable)."""
+    return list(heapq.merge(*[list(t) for t in traces], key=lambda r: r.arrival_us))
+
+
+def truncate(trace: Iterable[TraceRequest], num_requests: int) -> List[TraceRequest]:
+    """First ``num_requests`` requests."""
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    out = []
+    for r in trace:
+        if len(out) >= num_requests:
+            break
+        out.append(r)
+    return out

@@ -1,0 +1,37 @@
+"""Bounded Zipf sampler over N ranks.
+
+P(rank k) ~ 1 / k**theta for k = 1..N.  Enterprise-scale workloads show
+strong temporal locality (the premise of DFTL's and DLOOP's CMT,
+Section II.A), which a Zipfian hot set reproduces.  Sampling uses a
+precomputed CDF and binary search (vectorised via numpy for batches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    def __init__(self, n: int, theta: float, rng: np.random.Generator):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` ranks in [0, n); rank 0 is the hottest."""
+        u = self._rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def pmf(self) -> np.ndarray:
+        """Probability of each rank (diagnostics / tests)."""
+        probs = np.empty(self.n)
+        probs[0] = self._cdf[0]
+        probs[1:] = np.diff(self._cdf)
+        return probs

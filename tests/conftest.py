@@ -1,0 +1,37 @@
+"""Shared fixtures: small geometries that keep unit tests fast.
+
+``small_geometry``: 4 planes x (16 data + 4 extra) blocks x 8 pages of
+256 bytes — tiny page size keeps translation pages per plane > 1 so
+DLOOP's translation striping is exercised even at this scale.
+"""
+
+import pytest
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+
+
+@pytest.fixture
+def small_geometry() -> SSDGeometry:
+    return SSDGeometry(
+        channels=2,
+        packages_per_channel=1,
+        chips_per_package=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=16,
+        pages_per_block=8,
+        page_size=256,
+        extra_blocks_percent=25.0,
+    )
+
+
+@pytest.fixture
+def paper_geometry() -> SSDGeometry:
+    """The paper's fixed Table I configuration (8 GB, 2 KB pages)."""
+    return SSDGeometry()
+
+
+@pytest.fixture
+def timing() -> TimingParams:
+    return TimingParams()

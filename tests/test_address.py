@@ -1,0 +1,86 @@
+"""PPN packing, parity, and owner encoding."""
+
+import pytest
+
+from repro.flash.address import (
+    AddressCodec,
+    decode_translation_owner,
+    encode_translation_owner,
+    is_translation_owner,
+    OWNER_NONE,
+)
+
+
+def test_ppn_round_trip(small_geometry):
+    codec = AddressCodec(small_geometry)
+    for plane in range(small_geometry.num_planes):
+        for block in (0, 7, small_geometry.physical_blocks_per_plane - 1):
+            for page in (0, 3, small_geometry.pages_per_block - 1):
+                ppn = codec.make_ppn(plane, block, page)
+                assert codec.ppn_to_plane(ppn) == plane
+                assert codec.ppn_to_block(ppn) == codec.make_block(plane, block)
+                assert codec.ppn_to_page(ppn) == page
+
+
+def test_ppns_are_unique(small_geometry):
+    codec = AddressCodec(small_geometry)
+    seen = set()
+    for plane in range(small_geometry.num_planes):
+        for block in range(small_geometry.physical_blocks_per_plane):
+            for page in range(small_geometry.pages_per_block):
+                ppn = codec.make_ppn(plane, block, page)
+                assert ppn not in seen
+                seen.add(ppn)
+    assert len(seen) == small_geometry.num_physical_pages
+    assert min(seen) == 0
+    assert max(seen) == small_geometry.num_physical_pages - 1
+
+
+def test_page_parity_alternates(small_geometry):
+    codec = AddressCodec(small_geometry)
+    ppn0 = codec.make_ppn(1, 2, 0)
+    assert codec.page_parity(ppn0) == 0
+    assert codec.page_parity(ppn0 + 1) == 1
+    assert codec.page_parity(ppn0 + 2) == 0
+
+
+def test_out_of_range_rejected(small_geometry):
+    codec = AddressCodec(small_geometry)
+    with pytest.raises(ValueError):
+        codec.make_ppn(small_geometry.num_planes, 0, 0)
+    with pytest.raises(ValueError):
+        codec.make_ppn(0, small_geometry.physical_blocks_per_plane, 0)
+    with pytest.raises(ValueError):
+        codec.make_ppn(0, 0, small_geometry.pages_per_block)
+
+
+def test_block_round_trip(small_geometry):
+    codec = AddressCodec(small_geometry)
+    block = codec.make_block(3, 5)
+    assert codec.block_to_plane(block) == 3
+    assert codec.block_to_index_in_plane(block) == 5
+    ppns = codec.block_ppns(block)
+    assert len(ppns) == small_geometry.pages_per_block
+    assert codec.block_first_ppn(block) == ppns.start
+    assert all(codec.ppn_to_block(p) == block for p in ppns)
+
+
+def test_translation_owner_encoding():
+    for tvpn in (0, 1, 7, 123456):
+        owner = encode_translation_owner(tvpn)
+        assert owner <= -2
+        assert is_translation_owner(owner)
+        assert decode_translation_owner(owner) == tvpn
+
+
+def test_data_owner_not_translation():
+    assert not is_translation_owner(0)
+    assert not is_translation_owner(42)
+    assert not is_translation_owner(OWNER_NONE)
+
+
+def test_bad_translation_decodes_rejected():
+    with pytest.raises(ValueError):
+        decode_translation_owner(0)
+    with pytest.raises(ValueError):
+        encode_translation_owner(-1)

@@ -1,0 +1,162 @@
+"""FlashArray NAND state rules: program order, erase discipline, pools."""
+
+import pytest
+
+from repro.flash.address import PageState
+from repro.flash.array import FlashArray, FlashStateError
+
+
+@pytest.fixture
+def array(small_geometry):
+    return FlashArray(small_geometry)
+
+
+def first_ppn(array, block):
+    return array.codec.block_first_ppn(block)
+
+
+def test_initial_state_all_free(array):
+    assert (array.page_state == PageState.FREE).all()
+    assert array.utilization() == 0.0
+    for plane in range(array.geometry.num_planes):
+        assert array.free_block_count(plane) == array.geometry.physical_blocks_per_plane
+
+
+def test_program_marks_valid_and_tracks_owner(array):
+    block = array.allocate_block(0)
+    ppn = first_ppn(array, block)
+    array.program(ppn, 42)
+    assert array.state_of(ppn) == PageState.VALID
+    assert array.owner_of(ppn) == 42
+    assert array.block_valid[block] == 1
+
+
+def test_program_requires_allocated_block(array):
+    with pytest.raises(FlashStateError):
+        array.program(0, 1)  # block 0 still in the free pool
+
+
+def test_program_enforces_ascending_order(array):
+    block = array.allocate_block(0)
+    base = first_ppn(array, block)
+    array.program(base + 3, 1)  # skipping forward is legal
+    with pytest.raises(FlashStateError):
+        array.program(base + 1, 2)  # going backwards is not
+    array.program(base + 4, 2)
+
+
+def test_double_program_rejected(array):
+    block = array.allocate_block(0)
+    ppn = first_ppn(array, block)
+    array.program(ppn, 1)
+    with pytest.raises(FlashStateError):
+        array.program(ppn, 2)
+
+
+def test_invalidate_transitions_valid_to_invalid(array):
+    block = array.allocate_block(0)
+    ppn = first_ppn(array, block)
+    array.program(ppn, 1)
+    array.invalidate(ppn)
+    assert array.state_of(ppn) == PageState.INVALID
+    assert array.block_valid[block] == 0
+    assert array.block_invalid[block] == 1
+    with pytest.raises(FlashStateError):
+        array.invalidate(ppn)
+
+
+def test_skip_page_counts_as_invalid(array):
+    block = array.allocate_block(0)
+    ppn = first_ppn(array, block)
+    array.skip_page(ppn)
+    assert array.state_of(ppn) == PageState.INVALID
+    assert array.block_invalid[block] == 1
+    # Skipped page cannot be programmed afterwards.
+    with pytest.raises(FlashStateError):
+        array.program(ppn, 1)
+
+
+def test_erase_requires_no_valid_pages(array):
+    block = array.allocate_block(0)
+    ppn = first_ppn(array, block)
+    array.program(ppn, 1)
+    with pytest.raises(FlashStateError):
+        array.erase(block)
+    array.invalidate(ppn)
+    array.erase(block)
+    assert array.state_of(ppn) == PageState.FREE
+    assert array.block_write_ptr[block] == 0
+    assert array.block_erase_count[block] == 1
+
+
+def test_release_requires_erase(array):
+    block = array.allocate_block(0)
+    array.program(first_ppn(array, block), 1)
+    with pytest.raises(FlashStateError):
+        array.release_block(block)
+    array.invalidate(first_ppn(array, block))
+    array.erase(block)
+    array.release_block(block)
+    assert array.is_block_free(block)
+
+
+def test_double_release_rejected(array):
+    block = array.allocate_block(0)
+    array.release_block(block)
+    with pytest.raises(FlashStateError):
+        array.release_block(block)
+
+
+def test_pool_exhaustion_raises(array):
+    n = array.geometry.physical_blocks_per_plane
+    for _ in range(n):
+        array.allocate_block(1)
+    with pytest.raises(FlashStateError):
+        array.allocate_block(1)
+    assert array.free_block_count(1) == 0
+    # other planes unaffected
+    assert array.free_block_count(0) == n
+
+
+def test_allocate_release_cycle_preserves_pool(array):
+    before = array.free_block_count(2)
+    block = array.allocate_block(2)
+    assert array.free_block_count(2) == before - 1
+    array.release_block(block)
+    assert array.free_block_count(2) == before
+
+
+def test_valid_pages_in_block_ascending(array):
+    block = array.allocate_block(0)
+    base = first_ppn(array, block)
+    array.program(base + 0, 10)
+    array.program(base + 2, 11)
+    array.program(base + 5, 12)
+    array.invalidate(base + 2)
+    assert list(array.valid_pages_in_block(block)) == [base, base + 5]
+
+
+def test_block_free_pages_tracks_write_pointer(array):
+    block = array.allocate_block(0)
+    ppb = array.geometry.pages_per_block
+    assert array.block_free_pages(block) == ppb
+    array.program(first_ppn(array, block) + 2, 1)  # skips 0,1
+    assert array.block_free_pages(block) == ppb - 3
+
+
+def test_check_consistency_detects_corruption(array):
+    block = array.allocate_block(0)
+    array.program(first_ppn(array, block), 1)
+    array.check_consistency()
+    array.block_valid[block] = 5  # corrupt the counter
+    with pytest.raises(FlashStateError):
+        array.check_consistency()
+
+
+def test_erase_count_accumulates(array):
+    block = array.allocate_block(0)
+    for i in range(3):
+        array.program(first_ppn(array, block), i)
+        array.invalidate(first_ppn(array, block))
+        array.erase(block)
+    assert array.block_erase_count[block] == 3

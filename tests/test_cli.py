@@ -1,0 +1,156 @@
+"""Command-line interface end-to-end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["simulate", "--ftl", "fast"])
+    assert args.command == "simulate"
+    assert args.ftl == "fast"
+
+
+def test_simulate_prints_metrics(capsys):
+    code = main([
+        "simulate", "--ftl", "dloop", "--capacity-mb", "32",
+        "--requests", "400", "--precondition", "0.5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mean response (ms)" in out
+    assert "dloop on financial1" in out
+
+
+def test_simulate_saves_json(tmp_path, capsys):
+    out_file = str(tmp_path / "result.json")
+    code = main([
+        "simulate", "--ftl", "pagemap", "--capacity-mb", "32",
+        "--requests", "300", "--precondition", "0", "--json", out_file,
+    ])
+    assert code == 0
+    payload = json.loads(open(out_file).read())
+    assert payload[0]["ftl"] == "pagemap"
+    assert payload[0]["num_requests"] == 300
+
+
+def test_tracegen_and_replay(tmp_path, capsys):
+    trace_file = str(tmp_path / "trace.spc")
+    code = main([
+        "tracegen", "--workload", "tpcc", "--requests", "200",
+        "--footprint-mb", "8", "--out", trace_file, "--format", "spc",
+    ])
+    assert code == 0
+    assert "wrote 200 requests" in capsys.readouterr().out
+    # replay the saved trace through simulate
+    code = main([
+        "simulate", "--ftl", "fast", "--capacity-mb", "32",
+        "--trace", trace_file, "--precondition", "0.5",
+    ])
+    assert code == 0
+    assert "fast on" in capsys.readouterr().out
+
+
+def test_tracegen_disksim_format(tmp_path, capsys):
+    trace_file = str(tmp_path / "trace.ds")
+    main(["tracegen", "--workload", "build", "--requests", "50",
+          "--footprint-mb", "8", "--out", trace_file, "--format", "disksim"])
+    first = open(trace_file).readline().split()
+    assert len(first) == 5  # DiskSim ASCII fields
+
+
+def test_sweep_and_report(tmp_path, capsys):
+    out_file = str(tmp_path / "sweep.json")
+    code = main([
+        "sweep", "--figure", "10", "--scale", str(1 / 256),
+        "--requests", "200", "--traces", "financial1", "--out", out_file,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 10 sweep" in out
+    code = main(["report", "--input", out_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "results from" in out
+    # sweep results carry an axis -> rendered as a sparkline figure
+    assert "figure shape" in out
+    assert "'winner': 'dloop'" in out
+
+
+def test_sweep_csv_output(tmp_path, capsys):
+    out_file = str(tmp_path / "sweep.csv")
+    main([
+        "sweep", "--figure", "9", "--scale", str(1 / 256),
+        "--requests", "200", "--traces", "financial2", "--out", out_file,
+    ])
+    header = open(out_file).readline()
+    assert "mean_response_ms" in header
+
+
+def test_simulate_with_config_file(tmp_path, capsys):
+    import json
+
+    from repro.experiments.config import ExperimentConfig, config_to_dict, scaled_geometry
+
+    config = ExperimentConfig(
+        geometry=scaled_geometry(2, scale=1 / 256), ftl="fast", precondition_fill=0.5
+    )
+    path = str(tmp_path / "cfg.json")
+    json.dump(config_to_dict(config), open(path, "w"))
+    code = main(["simulate", "--config", path, "--requests", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fast on financial1" in out
+
+
+def test_trace_stats_synthetic(capsys):
+    code = main(["trace-stats", "--workload", "tpcc", "--requests", "500",
+                 "--footprint-mb", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace character: tpcc" in out
+    assert "hot10_%" in out
+    assert "Write(%)" in out
+
+
+def test_trace_stats_from_file(tmp_path, capsys):
+    trace_file = str(tmp_path / "t.spc")
+    main(["tracegen", "--workload", "financial2", "--requests", "300",
+          "--footprint-mb", "16", "--out", trace_file])
+    capsys.readouterr()
+    code = main(["trace-stats", "--trace", trace_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace character" in out
+
+
+def test_simulate_extra_archetype(capsys):
+    code = main(["simulate", "--ftl", "pagemap", "--capacity-mb", "32",
+                 "--workload", "webserver", "--requests", "300",
+                 "--precondition", "0.4"])
+    assert code == 0
+    assert "pagemap on webserver" in capsys.readouterr().out
+
+
+def test_simulate_closed_loop_mode(capsys):
+    code = main(["simulate", "--ftl", "pagemap", "--capacity-mb", "32",
+                 "--requests", "300", "--precondition", "0.4", "--iodepth", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "closed-loop iodepth=8" in out
+    assert "IOPS" in out
+
+
+def test_report_without_sweep_axis(tmp_path, capsys):
+    """Single-run results (no swept knob) render as a bar chart."""
+    out_file = str(tmp_path / "single.json")
+    main(["simulate", "--ftl", "pagemap", "--capacity-mb", "32",
+          "--requests", "200", "--precondition", "0", "--json", out_file])
+    capsys.readouterr()
+    code = main(["report", "--input", out_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean response time" in out  # hbar chart fallback

@@ -1,0 +1,126 @@
+"""Cached Mapping Table: segmented-LRU semantics and dirty tracking."""
+
+import pytest
+
+from repro.ftl.cmt import CachedMappingTable
+
+
+def test_insert_and_hit():
+    cmt = CachedMappingTable(4)
+    assert not cmt.touch(1)  # miss
+    cmt.insert(1)
+    assert cmt.touch(1)  # hit
+    assert cmt.stats.hits == 1
+    assert cmt.stats.misses == 1
+
+
+def test_capacity_never_exceeded():
+    cmt = CachedMappingTable(3)
+    for lpn in range(10):
+        if not cmt.touch(lpn):
+            cmt.insert(lpn)
+        assert len(cmt) <= 3
+
+
+def test_eviction_is_lru_from_probation():
+    cmt = CachedMappingTable(3)
+    for lpn in (1, 2, 3):
+        cmt.insert(lpn)
+    victim = cmt.insert(4)
+    assert victim == (1, False)
+    assert 1 not in cmt
+
+
+def test_hit_promotes_to_protected_and_survives_eviction():
+    cmt = CachedMappingTable(3)
+    for lpn in (1, 2, 3):
+        cmt.insert(lpn)
+    cmt.touch(1)  # promote 1 to the protected segment
+    cmt.insert(4)  # evicts probationary LRU (2), not protected 1
+    assert 1 in cmt
+    assert 2 not in cmt
+
+
+def test_protected_overflow_demotes():
+    cmt = CachedMappingTable(4, protected_fraction=0.25)  # 1 protected slot
+    for lpn in (1, 2, 3, 4):
+        cmt.insert(lpn)
+    cmt.touch(1)
+    cmt.touch(2)  # 1 demoted back to probation MRU
+    assert 1 in cmt and 2 in cmt
+    assert len(cmt) == 4
+
+
+def test_dirty_flag_round_trip():
+    cmt = CachedMappingTable(4)
+    cmt.insert(7, dirty=False)
+    assert not cmt.is_dirty(7)
+    cmt.mark_dirty(7)
+    assert cmt.is_dirty(7)
+    cmt.mark_clean(7)
+    assert not cmt.is_dirty(7)
+
+
+def test_dirty_survives_promotion():
+    cmt = CachedMappingTable(4)
+    cmt.insert(7, dirty=True)
+    cmt.touch(7)  # promote
+    assert cmt.is_dirty(7)
+
+
+def test_eviction_reports_dirtiness():
+    cmt = CachedMappingTable(1)
+    cmt.insert(5, dirty=True)
+    lpn, dirty = cmt.evict()
+    assert (lpn, dirty) == (5, True)
+    assert cmt.stats.dirty_evictions == 1
+
+
+def test_evict_empty_raises():
+    with pytest.raises(RuntimeError):
+        CachedMappingTable(2).evict()
+
+
+def test_double_insert_raises():
+    cmt = CachedMappingTable(4)
+    cmt.insert(1)
+    with pytest.raises(KeyError):
+        cmt.insert(1)
+
+
+def test_mark_dirty_missing_raises():
+    with pytest.raises(KeyError):
+        CachedMappingTable(4).mark_dirty(9)
+
+
+def test_hit_ratio():
+    cmt = CachedMappingTable(4)
+    cmt.insert(1)
+    cmt.touch(1)
+    cmt.touch(1)
+    cmt.touch(2)  # miss
+    assert cmt.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        CachedMappingTable(0)
+    with pytest.raises(ValueError):
+        CachedMappingTable(4, protected_fraction=1.0)
+
+
+def test_drop_removes_without_stats():
+    cmt = CachedMappingTable(4)
+    cmt.insert(1)
+    evictions = cmt.stats.evictions
+    cmt.drop(1)
+    assert 1 not in cmt
+    assert cmt.stats.evictions == evictions
+
+
+def test_cached_lpns_lists_all():
+    cmt = CachedMappingTable(4)
+    for lpn in (1, 2, 3):
+        cmt.insert(lpn)
+    cmt.touch(2)
+    assert sorted(cmt.cached_lpns()) == [1, 2, 3]

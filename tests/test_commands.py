@@ -1,0 +1,71 @@
+"""Multi-plane advanced commands (Section II.B)."""
+
+import pytest
+
+from repro.flash.commands import multi_plane_erase, multi_plane_program, multi_plane_read
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.flash.timing import TimingParams
+
+
+@pytest.fixture
+def paper_clock():
+    return FlashTimekeeper(SSDGeometry(), TimingParams())
+
+
+def die_planes(clock, die=0):
+    return list(clock.geometry.planes_of_die(die))
+
+
+def test_multi_plane_program_takes_one_program_plus_transfers(paper_clock):
+    planes = die_planes(paper_clock)
+    xfer = paper_clock.timing.page_transfer_us(paper_clock.geometry.page_size)
+    end = multi_plane_program(paper_clock, planes, 0.0)
+    # serial data-in transfers, then all programs overlap
+    assert end == pytest.approx(len(planes) * xfer + 200.0)
+    # much faster than sequential programs on one plane
+    assert end < len(planes) * (xfer + 200.0)
+
+
+def test_multi_plane_erase_takes_one_erase(paper_clock):
+    planes = die_planes(paper_clock)
+    end = multi_plane_erase(paper_clock, planes, 0.0)
+    assert end == pytest.approx(0.2 + 2000.0)
+    assert paper_clock.counters.erases == len(planes)
+
+
+def test_multi_plane_read_senses_concurrently(paper_clock):
+    planes = die_planes(paper_clock)
+    xfer = paper_clock.timing.page_transfer_us(paper_clock.geometry.page_size)
+    end = multi_plane_read(paper_clock, planes, 0.0)
+    assert end == pytest.approx(25.0 + len(planes) * xfer)
+
+
+def test_multi_plane_requires_one_die(paper_clock):
+    geom = paper_clock.geometry
+    planes = [0, 1]  # different channels -> different dies
+    assert geom.plane_to_die(0) != geom.plane_to_die(1)
+    with pytest.raises(ValueError):
+        multi_plane_program(paper_clock, planes, 0.0)
+
+
+def test_multi_plane_rejects_duplicates(paper_clock):
+    with pytest.raises(ValueError):
+        multi_plane_erase(paper_clock, [0, 0], 0.0)
+    with pytest.raises(ValueError):
+        multi_plane_read(paper_clock, [], 0.0)
+
+
+def test_multi_plane_respects_busy_planes(paper_clock):
+    planes = die_planes(paper_clock)
+    paper_clock.program_page(planes[0], 0.0)  # make one plane busy
+    busy_until = paper_clock.plane_free[planes[0]]
+    end = multi_plane_erase(paper_clock, planes, 0.0)
+    assert end >= busy_until + 2000.0
+
+
+def test_multi_plane_counts_per_plane_ops(paper_clock):
+    planes = die_planes(paper_clock)
+    multi_plane_program(paper_clock, planes, 0.0)
+    for plane in planes:
+        assert paper_clock.counters.plane_ops[plane] == 1

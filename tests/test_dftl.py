@@ -1,0 +1,100 @@
+"""DFTL baseline: plane-0 translation store, roaming data block, GC."""
+
+import random
+
+import pytest
+
+from repro.flash.address import PageState, is_translation_owner
+from repro.ftl.dftl import TRANSLATION_PLANE, DftlFtl
+
+
+@pytest.fixture
+def ftl(small_geometry, timing):
+    return DftlFtl(small_geometry, timing, cmt_entries=64)
+
+
+def test_translation_pages_pinned_to_plane_zero(ftl):
+    for tvpn in range(ftl.gtd.num_tpages):
+        ftl.tm.write_back(tvpn, 0.0)
+    for tvpn in range(ftl.gtd.num_tpages):
+        plane = ftl.codec.ppn_to_plane(ftl.gtd.lookup(tvpn))
+        assert plane == TRANSLATION_PLANE
+
+
+def test_writes_fill_one_block_at_a_time(ftl):
+    """Section V.B: DFTL picks free blocks to write sequentially."""
+    ppb = ftl.geometry.pages_per_block
+    blocks = set()
+    for lpn in range(ppb):
+        ftl.write_page(lpn, 0.0)
+        blocks.add(ftl.codec.ppn_to_block(ftl.current_ppn(lpn)))
+    assert len(blocks) == 1
+
+
+def test_update_goes_to_global_active_block_not_home_plane(ftl):
+    """Unlike DLOOP, updates follow the roaming block."""
+    lpns = list(range(0, ftl.geometry.num_planes * 4, 4))
+    for lpn in lpns:
+        ftl.write_page(lpn, 0.0)
+    # all writes landed in at most 2 blocks regardless of lpn
+    blocks = {ftl.codec.ppn_to_block(ftl.current_ppn(lpn)) for lpn in lpns}
+    assert len(blocks) <= 2
+
+
+def test_read_after_write(ftl):
+    ftl.write_page(11, 0.0)
+    end = ftl.read_page(11, 500.0)
+    assert end > 500.0
+
+
+def test_update_invalidates_old(ftl):
+    ftl.write_page(4, 0.0)
+    old = ftl.current_ppn(4)
+    ftl.write_page(4, 0.0)
+    assert ftl.array.state_of(old) == PageState.INVALID
+
+
+def test_gc_moves_through_controller(ftl):
+    rng = random.Random(5)
+    for i in range(3000):
+        ftl.write_page(rng.randrange(int(ftl.geometry.num_lpns * 0.7)), float(i))
+    assert ftl.gc_stats.moved_pages > 0
+    assert ftl.gc_stats.copyback_moves == 0
+    assert ftl.gc_stats.moved_pages <= ftl.gc_stats.controller_moves
+    ftl.verify_integrity()
+
+
+def test_gc_keeps_translation_pages_reachable(ftl):
+    rng = random.Random(6)
+    for i in range(3000):
+        ftl.write_page(rng.randrange(int(ftl.geometry.num_lpns * 0.7)), float(i))
+    # every valid translation page is the GTD's current pointer
+    import numpy as np
+
+    valid = np.flatnonzero(ftl.array.page_state == PageState.VALID)
+    for ppn in valid:
+        owner = ftl.array.owner_of(int(ppn))
+        if is_translation_owner(owner):
+            from repro.flash.address import decode_translation_owner
+
+            assert ftl.gtd.lookup(decode_translation_owner(owner)) == ppn
+
+
+def test_translation_traffic_concentrates_on_plane_zero(ftl):
+    """The plane-0 contention the paper observes in Section V.D."""
+    rng = random.Random(7)
+    for i in range(1500):
+        ftl.write_page(rng.randrange(int(ftl.geometry.num_lpns * 0.7)), float(i))
+    counts = ftl.clock.counters.plane_ops
+    assert counts[TRANSLATION_PLANE] == max(counts)
+
+
+def test_integrity_after_mixed_workload(ftl):
+    rng = random.Random(8)
+    for i in range(2500):
+        lpn = rng.randrange(int(ftl.geometry.num_lpns * 0.7))
+        if rng.random() < 0.6:
+            ftl.write_page(lpn, float(i))
+        else:
+            ftl.read_page(lpn, float(i))
+    ftl.verify_integrity()

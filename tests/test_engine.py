@@ -1,0 +1,122 @@
+"""Discrete-event engine: ordering, cancellation, clock discipline."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(30.0, fired.append, "c")
+    engine.schedule_at(10.0, fired.append, "a")
+    engine.schedule_at(20.0, fired.append, "b")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    engine = Engine()
+    fired = []
+    for tag in range(5):
+        engine.schedule_at(7.0, fired.append, tag)
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    times = []
+    engine.schedule_at(12.5, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [12.5]
+    assert engine.now == 12.5
+
+
+def test_schedule_after_is_relative():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(100.0, lambda: engine.schedule_after(5.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [105.0]
+
+
+def test_scheduling_in_the_past_raises():
+    engine = Engine()
+    engine.schedule_at(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(ValueError):
+        Engine().schedule_after(-1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_at(10.0, fired.append, "x")
+    engine.cancel(handle)
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_is_noop():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_at(1.0, fired.append, "x")
+    engine.run()
+    engine.cancel(handle)
+    assert fired == ["x"]
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10.0, fired.append, "early")
+    engine.schedule_at(50.0, fired.append, "late")
+    engine.run(until=20.0)
+    assert fired == ["early"]
+    assert engine.now == 20.0
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_idle_clock():
+    engine = Engine()
+    engine.run(until=42.0)
+    assert engine.now == 42.0
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            engine.schedule_after(1.0, chain, n + 1)
+
+    engine.schedule_at(0.0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.events_processed == 4
+
+
+def test_pending_counts_only_live_events():
+    engine = Engine()
+    h1 = engine.schedule_at(1.0, lambda: None)
+    engine.schedule_at(2.0, lambda: None)
+    engine.cancel(h1)
+    assert engine.pending == 1

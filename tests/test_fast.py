@@ -1,0 +1,139 @@
+"""FAST hybrid FTL: log blocks and the three merge types."""
+
+import random
+
+import pytest
+
+from repro.flash.address import PageState
+from repro.ftl.fast import FastFtl
+
+
+@pytest.fixture
+def ftl(small_geometry, timing):
+    return FastFtl(small_geometry, timing, num_log_blocks=4)
+
+
+def ppb(ftl):
+    return ftl.pages_per_block
+
+
+def test_first_writes_go_to_log_blocks(ftl):
+    ftl.write_page(0, 0.0)
+    assert ftl.sw is not None  # offset 0 opens an SW log
+    ftl.write_page(9, 0.0)  # offset 1 of lbn 1 -> RW log
+    assert ftl.current_rw is not None
+
+
+def test_switch_merge_on_complete_sequential_stream(ftl):
+    """A full sequential run becomes the data block with zero copies."""
+    p = ppb(ftl)
+    for off in range(p):
+        ftl.write_page(off, 0.0)  # lbn 0 sequential
+    assert ftl.sw is not None
+    moves_before = ftl.gc_stats.moved_pages
+    ftl.write_page(p, 0.0)  # offset 0 of lbn 1 closes lbn 0's SW log
+    assert ftl.fast_stats.switch_merges == 1
+    assert ftl.gc_stats.moved_pages == moves_before  # switch merge copies nothing
+    assert ftl.data_block[0] != -1
+
+
+def test_partial_merge_copies_tail(ftl):
+    p = ppb(ftl)
+    # build a full data block for lbn 0 via switch merge
+    for off in range(p):
+        ftl.write_page(off, 0.0)
+    ftl.write_page(p, 0.0)  # switch merge lbn 0; SW now on lbn 1
+    # rewrite only the first 2 pages of lbn 0 -> SW log, then close it
+    ftl.write_page(0, 0.0)
+    ftl.write_page(1, 0.0)
+    ftl.write_page(2 * p, 0.0)  # offset 0 of lbn 2 -> closes lbn 0's partial SW
+    assert ftl.fast_stats.partial_merges >= 1
+    assert ftl.gc_stats.moved_pages >= p - 2  # the tail was copied
+    ftl.verify_integrity()
+
+
+def test_full_merge_reclaims_rw_log(ftl):
+    rng = random.Random(11)
+    # random single-page updates at non-zero offsets fill RW logs
+    lpns = [lbn * ppb(ftl) + off for lbn in range(6) for off in range(1, ppb(ftl))]
+    for i in range(300):
+        ftl.write_page(rng.choice(lpns), float(i))
+    assert ftl.fast_stats.full_merges > 0
+    ftl.verify_integrity()
+
+
+def test_log_budget_respected(ftl):
+    rng = random.Random(12)
+    for i in range(500):
+        ftl.write_page(rng.randrange(ftl.geometry.num_lpns), float(i))
+    assert ftl.log_blocks_in_use() <= ftl.num_log_blocks
+
+
+def test_reads_find_latest_copy_everywhere(ftl):
+    """Latest copy may live in data block, SW log or RW log."""
+    p = ppb(ftl)
+    for off in range(p):
+        ftl.write_page(off, 0.0)
+    ftl.write_page(p, 0.0)  # lbn 0 switch-merged to a data block
+    ftl.write_page(3, 0.0)  # update offset 3 -> RW log
+    ppn = ftl.current_ppn(3)
+    assert ftl.array.owner_of(ppn) == 3
+    assert ftl.array.state_of(ppn) == PageState.VALID
+    end = ftl.read_page(3, 100.0)
+    assert end > 100.0
+
+
+def test_no_mapping_flash_traffic(ftl):
+    """FAST's block map lives in SRAM: reads cost exactly one flash read."""
+    ftl.write_page(1, 0.0)
+    reads_before = ftl.clock.counters.reads
+    ftl.read_page(1, 1e6)
+    assert ftl.clock.counters.reads == reads_before + 1
+
+
+def test_sw_log_interrupted_by_random_writes(ftl):
+    p = ppb(ftl)
+    ftl.write_page(0, 0.0)
+    ftl.write_page(1, 0.0)
+    ftl.write_page(5, 0.0)  # breaks the sequence -> RW log
+    assert ftl.sw is not None and int(ftl.array.block_write_ptr[ftl.sw.block]) == 2
+    ftl.write_page(2, 0.0)  # resumes the sequential stream
+    assert int(ftl.array.block_write_ptr[ftl.sw.block]) == 3
+    ftl.verify_integrity()
+
+
+def test_data_blocks_hold_single_lbn(ftl):
+    rng = random.Random(13)
+    for i in range(600):
+        ftl.write_page(rng.randrange(ftl.geometry.num_lpns), float(i))
+    p = ppb(ftl)
+    for lbn, block in enumerate(ftl.data_block):
+        if block == -1:
+            continue
+        for ppn in ftl.array.valid_pages_in_block(int(block)):
+            owner = ftl.array.owner_of(ppn)
+            assert owner // p == lbn
+            assert ppn % p == owner % p  # offset preserved (block mapping)
+
+
+def test_heavy_random_workload_integrity(ftl):
+    rng = random.Random(14)
+    for i in range(2000):
+        lpn = rng.randrange(ftl.geometry.num_lpns)
+        if rng.random() < 0.7:
+            ftl.write_page(lpn, float(i))
+        else:
+            ftl.read_page(lpn, float(i))
+    ftl.verify_integrity()
+    assert ftl.fast_stats.full_merges > 0
+
+
+def test_default_log_budget_from_extra_blocks(small_geometry, timing):
+    ftl = FastFtl(small_geometry, timing)
+    total_extra = small_geometry.num_planes * small_geometry.extra_blocks_per_plane
+    assert 2 <= ftl.num_log_blocks <= total_extra
+
+
+def test_too_few_log_blocks_rejected(small_geometry, timing):
+    with pytest.raises(ValueError):
+        FastFtl(small_geometry, timing, num_log_blocks=1)

@@ -1,0 +1,157 @@
+"""GC policy helpers: victim selection and parity-minimising order."""
+
+import pytest
+
+from repro.flash.array import FlashArray
+from repro.ftl.allocator import PlaneAllocator
+from repro.ftl.gcontrol import parity_minimizing_order, select_victim
+
+
+@pytest.fixture
+def array(small_geometry):
+    return FlashArray(small_geometry)
+
+
+def fill_block(array, plane, owners):
+    block = array.allocate_block(plane)
+    base = array.codec.block_first_ppn(block)
+    for i, owner in enumerate(owners):
+        array.program(base + i, owner)
+    return block
+
+
+def test_no_victim_when_everything_valid(array):
+    fill_block(array, 0, range(8))
+    assert select_victim(array, 0) is None
+
+
+def test_most_invalid_block_wins(array):
+    b1 = fill_block(array, 0, range(8))
+    b2 = fill_block(array, 0, range(10, 18))
+    base1 = array.codec.block_first_ppn(b1)
+    base2 = array.codec.block_first_ppn(b2)
+    array.invalidate(base1)
+    array.invalidate(base2)
+    array.invalidate(base2 + 1)
+    assert select_victim(array, 0) == b2
+
+
+def test_excluded_blocks_skipped(array):
+    b1 = fill_block(array, 0, range(8))
+    array.invalidate(array.codec.block_first_ppn(b1))
+    assert select_victim(array, 0, exclude={b1}) is None
+    assert select_victim(array, 0) == b1
+
+
+def test_free_blocks_never_victims(array):
+    # all blocks still pooled: nothing to victimise
+    assert select_victim(array, 0) is None
+
+
+def test_max_valid_filters_full_blocks(array):
+    b1 = fill_block(array, 0, range(8))
+    base = array.codec.block_first_ppn(b1)
+    array.invalidate(base)  # 7 valid, 1 invalid
+    assert select_victim(array, 0, max_valid=3) is None
+    assert select_victim(array, 0, max_valid=7) == b1
+
+
+def test_victim_selection_is_per_plane(array):
+    b0 = fill_block(array, 0, range(8))
+    array.invalidate(array.codec.block_first_ppn(b0))
+    assert select_victim(array, 1) is None
+    assert select_victim(array, 0) == b0
+
+
+def test_parity_order_alternating_sources_no_skips(array):
+    """Mixed-parity sources can always be served skip-free."""
+    victim = fill_block(array, 0, range(100, 108))
+    alloc = PlaneAllocator(0, array)
+    moved = []
+    for ppn in parity_minimizing_order(list(array.valid_pages_in_block(victim)), array.codec, alloc):
+        _, skipped = alloc.allocate_with_parity(array.owner_of(ppn), array.codec.page_parity(ppn))
+        array.invalidate(ppn)
+        moved.append(skipped)
+    assert sum(moved) == 0
+
+
+def test_parity_order_same_parity_sources_bounded_waste(array):
+    """All-even sources: waste stays within ~1 skip per move (m/2 rule)."""
+    block = array.allocate_block(0)
+    base = array.codec.block_first_ppn(block)
+    for i in range(8):
+        array.program(base + i, 200 + i)
+    for i in range(1, 8, 2):  # invalidate odd offsets -> 4 even-parity valids
+        array.invalidate(base + i)
+    alloc = PlaneAllocator(0, array)
+    skips = 0
+    for ppn in parity_minimizing_order(list(array.valid_pages_in_block(block)), array.codec, alloc):
+        _, skipped = alloc.allocate_with_parity(array.owner_of(ppn), array.codec.page_parity(ppn))
+        array.invalidate(ppn)
+        skips += skipped
+    assert skips <= 4  # m/2 of m=4 moves... plus the initial alignment
+
+
+def test_parity_order_yields_every_page(array):
+    victim = fill_block(array, 0, range(300, 308))
+    base = array.codec.block_first_ppn(victim)
+    array.invalidate(base + 2)
+    valids = list(array.valid_pages_in_block(victim))
+    alloc = PlaneAllocator(0, array)
+    out = []
+    for ppn in parity_minimizing_order(valids, array.codec, alloc):
+        alloc.allocate_with_parity(array.owner_of(ppn), array.codec.page_parity(ppn))
+        out.append(ppn)
+    assert sorted(out) == sorted(valids)
+
+
+def test_policy_validation(array):
+    with pytest.raises(ValueError):
+        select_victim(array, 0, policy="bogus")
+    block = fill_block(array, 0, range(8))
+    array.invalidate(array.codec.block_first_ppn(block))  # make it a candidate
+    with pytest.raises(ValueError):
+        select_victim(array, 0, policy="random")  # rng required
+
+
+def test_cost_benefit_prefers_old_blocks(array):
+    """Same invalid count: the older block wins under cost-benefit."""
+    old = fill_block(array, 0, range(8))
+    new = fill_block(array, 0, range(10, 18))
+    array.invalidate(array.codec.block_first_ppn(old))
+    array.invalidate(array.codec.block_first_ppn(new))
+    assert select_victim(array, 0, policy="cost-benefit") == old
+    # greedy ties break toward the first max; both have 1 invalid
+    assert select_victim(array, 0, policy="greedy") in (old, new)
+
+
+def test_fifo_picks_least_recently_written(array):
+    first = fill_block(array, 0, range(8))
+    second = fill_block(array, 0, range(10, 18))
+    array.invalidate(array.codec.block_first_ppn(first) + 1)
+    array.invalidate(array.codec.block_first_ppn(second) + 1)
+    assert select_victim(array, 0, policy="fifo") == first
+
+
+def test_random_policy_is_seeded(array):
+    import random as _random
+
+    b1 = fill_block(array, 0, range(8))
+    b2 = fill_block(array, 0, range(10, 18))
+    array.invalidate(array.codec.block_first_ppn(b1))
+    array.invalidate(array.codec.block_first_ppn(b2))
+    picks_a = [select_victim(array, 0, policy="random", rng=_random.Random(5)) for _ in range(5)]
+    picks_b = [select_victim(array, 0, policy="random", rng=_random.Random(5)) for _ in range(5)]
+    assert picks_a == picks_b
+    assert set(picks_a) <= {b1, b2}
+
+
+def test_cost_benefit_invalid_density_matters(array):
+    """Mostly-invalid young block beats barely-invalid old block."""
+    old = fill_block(array, 0, range(8))
+    array.invalidate(array.codec.block_first_ppn(old))  # 1/8 invalid, old
+    young = fill_block(array, 0, range(10, 18))
+    base = array.codec.block_first_ppn(young)
+    for i in range(7):  # 7/8 invalid, young
+        array.invalidate(base + i)
+    assert select_victim(array, 0, policy="cost-benefit") == young

@@ -1,0 +1,122 @@
+"""SSD geometry arithmetic and the paper's Table I configuration."""
+
+import pytest
+
+from repro.flash.geometry import GB, KB, SSDGeometry
+
+
+def test_paper_default_matches_section_iii():
+    geom = SSDGeometry()
+    assert geom.num_planes == 32
+    # "Assume that one plane has 2,048 data blocks plus such extra blocks."
+    assert geom.blocks_per_plane == 2048
+    assert geom.capacity_bytes == 8 * GB
+    assert geom.page_size == 2 * KB
+    assert geom.pages_per_block == 64
+
+
+def test_extra_blocks_rounded_up():
+    geom = SSDGeometry(blocks_per_plane=100, extra_blocks_percent=2.5)
+    assert geom.extra_blocks_per_plane == 3
+    assert geom.physical_blocks_per_plane == 103
+
+
+def test_capacity_excludes_extra_blocks():
+    base = SSDGeometry(extra_blocks_percent=0.0)
+    with_extra = SSDGeometry(extra_blocks_percent=10.0)
+    assert base.capacity_bytes == with_extra.capacity_bytes
+    assert with_extra.num_physical_blocks > base.num_physical_blocks
+
+
+def test_plane_to_channel_is_interleaved(small_geometry):
+    channels = small_geometry.channels
+    for plane in range(small_geometry.num_planes):
+        assert small_geometry.plane_to_channel(plane) == plane % channels
+
+
+def test_planes_of_die_partition_all_planes():
+    geom = SSDGeometry()
+    seen = set()
+    for die in range(geom.num_dies):
+        planes = list(geom.planes_of_die(die))
+        assert len(planes) == geom.planes_per_die
+        for plane in planes:
+            assert geom.plane_to_die(plane) == die
+            assert plane not in seen
+            seen.add(plane)
+    assert seen == set(range(geom.num_planes))
+
+
+def test_from_capacity_round_trip():
+    geom = SSDGeometry.from_capacity(8 * GB)
+    assert geom.capacity_bytes == 8 * GB
+    assert geom.blocks_per_plane == 2048
+
+
+def test_from_capacity_scales_blocks_not_planes():
+    g2 = SSDGeometry.from_capacity(2 * GB)
+    g64 = SSDGeometry.from_capacity(64 * GB)
+    assert g2.num_planes == g64.num_planes == 32
+    assert g64.blocks_per_plane == 32 * g2.blocks_per_plane
+
+
+def test_from_capacity_too_small_raises():
+    with pytest.raises(ValueError):
+        SSDGeometry.from_capacity(1024)
+
+
+def test_with_page_size_preserves_capacity():
+    geom = SSDGeometry.from_capacity(8 * GB)
+    for page_kb in (2, 4, 8, 16):
+        resized = geom.with_page_size(page_kb * KB)
+        assert resized.capacity_bytes == geom.capacity_bytes
+        assert resized.page_size == page_kb * KB
+
+
+def test_with_extra_blocks():
+    geom = SSDGeometry().with_extra_blocks(10.0)
+    assert geom.extra_blocks_percent == 10.0
+    assert geom.capacity_bytes == SSDGeometry().capacity_bytes
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        SSDGeometry(channels=0)
+    with pytest.raises(ValueError):
+        SSDGeometry(pages_per_block=63)  # must be even for parity rule
+    with pytest.raises(ValueError):
+        SSDGeometry(extra_blocks_percent=-1)
+
+
+def test_describe_reports_table1_fields():
+    desc = SSDGeometry().describe()
+    assert desc["SSD capacity (GB)"] == 8.0
+    assert desc["Page size (KB)"] == 2.0
+    assert desc["Pages per block"] == 64
+    assert desc["Percentage of extra blocks"] == 3.0
+
+
+def test_die_major_plane_order():
+    geom = SSDGeometry(plane_order="die-major")
+    planes_per_channel = geom.num_planes // geom.channels
+    # consecutive planes share a channel under die-major ordering
+    assert geom.plane_to_channel(0) == geom.plane_to_channel(1)
+    assert geom.plane_to_channel(0) != geom.plane_to_channel(planes_per_channel)
+    # dies still partition planes
+    seen = set()
+    for die in range(geom.num_dies):
+        for plane in geom.planes_of_die(die):
+            assert geom.plane_to_die(plane) == die
+            seen.add(plane)
+    assert seen == set(range(geom.num_planes))
+
+
+def test_channel_interleaved_spreads_consecutive_planes():
+    geom = SSDGeometry()  # default ordering
+    channels = {geom.plane_to_channel(p) for p in range(geom.channels)}
+    assert len(channels) == geom.channels
+
+
+def test_invalid_plane_order_rejected():
+    with pytest.raises(ValueError):
+        SSDGeometry(plane_order="diagonal")

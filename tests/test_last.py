@@ -1,0 +1,120 @@
+"""LAST hybrid FTL: sequential partition + hot/cold random buffer."""
+
+import random
+
+import pytest
+
+from repro.ftl.last import LastFtl
+
+
+@pytest.fixture
+def ftl(small_geometry, timing):
+    return LastFtl(small_geometry, timing, num_log_blocks=6, sequential_fraction=0.34)
+
+
+def test_partition_capacities(ftl):
+    assert ftl.seq_capacity == 2
+    assert ftl.random_capacity == 4
+
+
+def test_sequential_stream_switch_merges(ftl):
+    ppb = ftl.pages_per_block
+    for off in range(ppb):
+        ftl.write_page(off, 0.0)
+    # completing the stream switch-merges immediately
+    assert ftl.last_stats.switch_merges == 1
+    assert ftl.data_block[0] != -1
+    assert 0 not in ftl.seq_logs
+
+
+def test_two_concurrent_streams(ftl):
+    ppb = ftl.pages_per_block
+    for off in range(ppb):
+        ftl.write_page(off, 0.0)            # stream A (lbn 0)
+        ftl.write_page(ppb + off, 0.0)      # stream B (lbn 1)
+    assert ftl.last_stats.switch_merges == 2  # FAST could only keep one
+
+
+def test_incomplete_stream_partial_merges_on_eviction(ftl):
+    ppb = ftl.pages_per_block
+    ftl.write_page(0, 0.0)
+    ftl.write_page(1, 0.0)             # lbn 0 stream, incomplete
+    ftl.write_page(ppb, 0.0)           # lbn 1 stream
+    ftl.write_page(2 * ppb, 0.0)       # lbn 2 stream: evicts lbn 0 (LRU)
+    assert ftl.last_stats.partial_merges >= 1
+    assert 0 not in ftl.seq_logs
+    ftl.verify_integrity()
+
+
+def test_hot_cold_separation(ftl):
+    # hammer one page: it becomes hot; touch many others once: cold
+    for i in range(12):
+        ftl.write_page(1, float(i))
+    assert ftl.last_stats.hot_writes > 0
+    assert ftl.last_stats.cold_writes > 0
+
+
+def test_dead_hot_blocks_reclaim_free(small_geometry, timing):
+    """Pages rewritten within the window self-invalidate their log block."""
+    ftl = LastFtl(small_geometry, timing, num_log_blocks=6, hot_window=64)
+    hot_set = [1, 2, 3, 5]  # offsets != 0 -> random partition
+    rng = random.Random(41)
+    for i in range(1200):
+        ftl.write_page(rng.choice(hot_set), float(i))
+    assert ftl.last_stats.dead_block_reclaims > 0
+    ftl.verify_integrity()
+
+
+def test_random_budget_respected(ftl):
+    rng = random.Random(42)
+    for i in range(1500):
+        ftl.write_page(rng.randrange(int(ftl.geometry.num_lpns * 0.7)), float(i))
+    assert ftl.log_blocks_in_use() <= ftl.num_log_blocks
+    assert ftl._random_blocks_in_use() <= ftl.random_capacity
+
+
+def test_integrity_under_mixed_load(ftl):
+    rng = random.Random(43)
+    for i in range(3000):
+        lpn = rng.randrange(int(ftl.geometry.num_lpns * 0.7))
+        if rng.random() < 0.65:
+            ftl.write_page(lpn, float(i))
+        else:
+            ftl.read_page(lpn, float(i))
+    ftl.verify_integrity()
+
+
+def test_stream_dissolved_by_full_merge_recovers(ftl):
+    """A full merge hitting an active stream's lbn must not corrupt it."""
+    ppb = ftl.pages_per_block
+    rng = random.Random(44)
+    # start a stream on lbn 0, then flood random writes to force merges
+    ftl.write_page(0, 0.0)
+    ftl.write_page(1, 0.0)
+    for i in range(800):
+        lpn = rng.randrange(ppb, int(ftl.geometry.num_lpns * 0.7))
+        ftl.write_page(lpn, float(i))
+    # close the (possibly dissolved) stream
+    ftl.write_page(0, 999.0)
+    ftl.verify_integrity()
+
+
+def test_bulk_fill(ftl):
+    count = int(ftl.geometry.num_lpns * 0.5)
+    ftl.bulk_fill(count)
+    assert len(ftl.mapped_lpns()) == count
+    ftl.verify_integrity()
+
+
+def test_parameter_validation(small_geometry, timing):
+    with pytest.raises(ValueError):
+        LastFtl(small_geometry, timing, num_log_blocks=3)
+    with pytest.raises(ValueError):
+        LastFtl(small_geometry, timing, sequential_fraction=0.0)
+
+
+def test_map_journal_used(ftl):
+    rng = random.Random(45)
+    for i in range(800):
+        ftl.write_page(rng.randrange(int(ftl.geometry.num_lpns * 0.6)), float(i))
+    assert ftl.map_journal.map_writes > 0

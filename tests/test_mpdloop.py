@@ -1,0 +1,94 @@
+"""Multi-plane DLOOP variant (advanced-command extension)."""
+
+import random
+
+import pytest
+
+from repro.core.dloop import DloopFtl
+from repro.core.mpdloop import MultiPlaneDloopFtl
+
+
+@pytest.fixture
+def ftl(small_geometry, timing):
+    return MultiPlaneDloopFtl(small_geometry, timing, cmt_entries=64)
+
+
+def test_single_page_write_uses_normal_path(ftl):
+    ftl.write_pages([3], 0.0)
+    assert ftl.multi_plane_batches == 0
+    assert ftl.is_mapped(3)
+
+
+def test_same_die_pages_batch(ftl):
+    geom = ftl.geometry
+    # find two lpns whose home planes share a die
+    die_planes = list(geom.planes_of_die(0))
+    lpns = [die_planes[0], die_planes[1]]  # lpn % planes == plane for small lpns
+    ftl.write_pages(lpns, 0.0)
+    assert ftl.multi_plane_batches == 1
+    assert ftl.multi_plane_pages == 2
+    for lpn in lpns:
+        assert ftl.is_mapped(lpn)
+
+
+def test_same_plane_pages_split_into_rounds(ftl):
+    planes = ftl.geometry.num_planes
+    lpns = [0, planes]  # both map to plane 0: cannot share one command
+    ftl.write_pages(lpns, 0.0)
+    assert ftl.multi_plane_batches == 0  # two single-page rounds
+    assert ftl.is_mapped(0) and ftl.is_mapped(planes)
+
+
+def test_placement_matches_plain_dloop(small_geometry, timing):
+    plain = DloopFtl(small_geometry, timing, cmt_entries=64)
+    multi = MultiPlaneDloopFtl(small_geometry, timing, cmt_entries=64)
+    rng = random.Random(71)
+    for i in range(300):
+        start = rng.randrange(int(small_geometry.num_lpns * 0.6))
+        count = min(rng.choice((1, 2, 4)), small_geometry.num_lpns - start)
+        lpns = list(range(start, start + count))
+        plain.write_pages(lpns, float(i))
+        multi.write_pages(lpns, float(i))
+    assert set(map(int, plain.mapped_lpns())) == set(map(int, multi.mapped_lpns()))
+    for lpn in multi.mapped_lpns():
+        assert multi.codec.ppn_to_plane(multi.current_ppn(int(lpn))) == int(lpn) % multi.num_planes
+    multi.verify_integrity()
+
+
+def test_batched_writes_not_slower(small_geometry, timing):
+    """A same-die pair should finish no later than via two commands."""
+    geom = small_geometry
+    die_planes = list(geom.planes_of_die(0))
+    lpns = [die_planes[0], die_planes[1]]
+    plain = DloopFtl(geom, timing, cmt_entries=64)
+    multi = MultiPlaneDloopFtl(geom, timing, cmt_entries=64)
+    t_plain = plain.write_pages(list(lpns), 0.0)
+    t_multi = multi.write_pages(list(lpns), 0.0)
+    assert t_multi <= t_plain + 1e-9
+
+
+def test_integrity_under_random_batches(ftl):
+    rng = random.Random(72)
+    for i in range(1500):
+        start = rng.randrange(int(ftl.geometry.num_lpns * 0.6))
+        count = min(rng.choice((1, 2, 4)), ftl.geometry.num_lpns - start)
+        ftl.write_pages(range(start, start + count), float(i))
+    ftl.verify_integrity()
+
+
+def test_updates_invalidate_old_copies(ftl):
+    lpns = list(ftl.geometry.planes_of_die(0))[:2]
+    ftl.write_pages(list(lpns), 0.0)
+    old = [ftl.current_ppn(lpn) for lpn in lpns]
+    ftl.write_pages(list(lpns), 100.0)
+    from repro.flash.address import PageState
+
+    for ppn in old:
+        assert ftl.array.state_of(ppn) == PageState.INVALID
+
+
+def test_registry_name(small_geometry):
+    from repro.ftl.registry import create_ftl
+
+    ftl = create_ftl("dloop-mp", small_geometry)
+    assert isinstance(ftl, MultiPlaneDloopFtl)

@@ -1,0 +1,83 @@
+"""Ideal page-map FTL and its striping-policy ablation knob."""
+
+import random
+
+import pytest
+
+from repro.ftl.pagemap import PageMapFtl
+
+
+def run_random(ftl, n=1500, seed=0, footprint=0.7):
+    rng = random.Random(seed)
+    space = int(ftl.geometry.num_lpns * footprint)
+    for i in range(n):
+        ftl.write_page(rng.randrange(space), float(i))
+
+
+def test_lpn_striping_matches_dloop_policy(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="lpn")
+    for lpn in range(small_geometry.num_planes * 2):
+        ftl.write_page(lpn, 0.0)
+        assert ftl.codec.ppn_to_plane(ftl.current_ppn(lpn)) == lpn % ftl.num_planes
+
+
+def test_roaming_concentrates_writes(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="roaming")
+    ppb = small_geometry.pages_per_block
+    blocks = set()
+    for lpn in range(ppb):
+        ftl.write_page(lpn * 7 % small_geometry.num_lpns, 0.0)
+        blocks.add(ftl.codec.ppn_to_block(ftl.current_ppn(lpn * 7 % small_geometry.num_lpns)))
+    assert len(blocks) == 1
+
+
+def test_random_striping_reproducible(small_geometry, timing):
+    a = PageMapFtl(small_geometry, timing, striping="random", seed=7)
+    b = PageMapFtl(small_geometry, timing, striping="random", seed=7)
+    for lpn in range(40):
+        a.write_page(lpn, 0.0)
+        b.write_page(lpn, 0.0)
+        assert a.current_ppn(lpn) == b.current_ppn(lpn)
+
+
+def test_no_mapping_traffic(small_geometry, timing):
+    """The whole map is in SRAM: a read is exactly one flash read."""
+    ftl = PageMapFtl(small_geometry, timing)
+    ftl.write_page(1, 0.0)
+    before = ftl.clock.counters.reads
+    ftl.read_page(1, 1e6)
+    assert ftl.clock.counters.reads == before + 1
+
+
+def test_gc_uses_copyback_for_lpn_striping(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="lpn", use_copyback=True)
+    run_random(ftl, n=2500, seed=1)
+    assert ftl.gc_stats.moved_pages > 0
+    assert ftl.gc_stats.controller_moves == 0 or ftl.gc_stats.emergency_passes > 0
+    ftl.verify_integrity()
+
+
+def test_gc_controller_moves_without_copyback(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="lpn", use_copyback=False)
+    run_random(ftl, n=2500, seed=2)
+    assert ftl.gc_stats.copyback_moves == 0
+    assert ftl.gc_stats.moved_pages > 0
+    ftl.verify_integrity()
+
+
+def test_roaming_gc_integrity(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="roaming")
+    run_random(ftl, n=2500, seed=3)
+    assert ftl.gc_stats.moved_pages > 0
+    ftl.verify_integrity()
+
+
+def test_random_striping_gc_integrity(small_geometry, timing):
+    ftl = PageMapFtl(small_geometry, timing, striping="random")
+    run_random(ftl, n=2500, seed=4)
+    ftl.verify_integrity()
+
+
+def test_unknown_striping_rejected(small_geometry, timing):
+    with pytest.raises(ValueError):
+        PageMapFtl(small_geometry, timing, striping="bogus")

@@ -1,0 +1,173 @@
+"""Process-style simulation layer (generators over the engine)."""
+
+import pytest
+
+from repro.sim.process import Environment, Timeout
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        yield env.timeout(10.0)
+        log.append(env.now)
+        yield env.timeout(5.0)
+        log.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert log == [10.0, 15.0]
+
+
+def test_event_wakes_waiter_with_value():
+    env = Environment()
+    received = []
+
+    def waiter(env, event):
+        value = yield event
+        received.append((env.now, value))
+
+    event = env.event()
+    env.process(waiter(env, event))
+    env.schedule(25.0, event.succeed, "payload")
+    env.run()
+    assert received == [(25.0, "payload")]
+
+
+def test_event_wakes_multiple_waiters():
+    env = Environment()
+    woken = []
+
+    def waiter(env, event, tag):
+        yield event
+        woken.append(tag)
+
+    event = env.event()
+    for tag in "abc":
+        env.process(waiter(env, event, tag))
+    env.schedule(5.0, event.succeed)
+    env.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_yield_on_already_triggered_event():
+    env = Environment()
+    seen = []
+
+    def late(env, event):
+        yield env.timeout(50.0)
+        value = yield event  # already fired at t=1
+        seen.append(value)
+
+    event = env.event()
+    env.schedule(1.0, event.succeed, 42)
+    env.process(late(env, event))
+    env.run()
+    assert seen == [42]
+
+
+def test_join_on_child_process():
+    env = Environment()
+    order = []
+
+    def child(env):
+        yield env.timeout(30.0)
+        order.append("child")
+        return "result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        order.append(("parent", value, env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert order == ["child", ("parent", "result", 30.0)]
+
+
+def test_double_succeed_raises():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_bad_yield_type_raises():
+    env = Environment()
+
+    def bad(env):
+        yield "nonsense"
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return 99
+
+    process = env.process(worker(env))
+    env.run()
+    assert process.finished
+    assert process.result == 99
+
+
+def test_producer_consumer():
+    """Classic two-process handshake over events."""
+    env = Environment()
+    produced, consumed = [], []
+
+    def producer(env, slots):
+        for i in range(3):
+            yield env.timeout(10.0)
+            produced.append(i)
+            slots[i].succeed(i)
+
+    def consumer(env, slots):
+        for slot in slots:
+            value = yield slot
+            consumed.append((value, env.now))
+
+    slots = [env.event() for _ in range(3)]
+    env.process(producer(env, slots))
+    env.process(consumer(env, slots))
+    env.run()
+    assert produced == [0, 1, 2]
+    assert [v for v, _ in consumed] == [0, 1, 2]
+    assert [t for _, t in consumed] == [10.0, 20.0, 30.0]
+
+
+def test_shares_engine_with_device():
+    """Processes coexist with a SimulatedSSD on one engine."""
+    from repro.controller.device import SimulatedSSD
+    from repro.flash.geometry import SSDGeometry
+    from repro.sim.request import IoOp, IoRequest
+
+    geom = SSDGeometry(
+        channels=2, packages_per_channel=1, chips_per_package=1, dies_per_chip=1,
+        planes_per_die=2, blocks_per_plane=8, pages_per_block=8, page_size=256,
+        extra_blocks_percent=25.0,
+    )
+    ssd = SimulatedSSD(geom, ftl="pagemap")
+    env = Environment(ssd.engine)
+    pokes = []
+
+    def monitor(env):
+        for _ in range(3):
+            yield env.timeout(1000.0)
+            pokes.append((env.now, ssd.stats.count))
+
+    env.process(monitor(env))
+    ssd.run([IoRequest(float(i * 10), i, 1, IoOp.WRITE) for i in range(8)])
+    assert len(pokes) == 3
+    assert pokes[-1][1] == 8

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flash.address import AddressCodec
+from repro.flash.array import FlashArray
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.flash.timing import TimingParams
+from repro.ftl.allocator import PlaneAllocator
+from repro.ftl.cmt import CachedMappingTable
+from repro.ftl.registry import create_ftl
+
+TINY = SSDGeometry(
+    channels=2,
+    packages_per_channel=1,
+    chips_per_package=1,
+    dies_per_chip=1,
+    planes_per_die=2,
+    blocks_per_plane=8,
+    pages_per_block=4,
+    page_size=64,
+    extra_blocks_percent=50.0,
+)
+
+
+# ---- address codec -----------------------------------------------------------
+
+
+@given(
+    plane=st.integers(0, TINY.num_planes - 1),
+    block=st.integers(0, TINY.physical_blocks_per_plane - 1),
+    page=st.integers(0, TINY.pages_per_block - 1),
+)
+def test_codec_round_trip(plane, block, page):
+    codec = AddressCodec(TINY)
+    ppn = codec.make_ppn(plane, block, page)
+    assert codec.ppn_to_plane(ppn) == plane
+    assert codec.ppn_to_page(ppn) == page
+    assert codec.ppn_to_block(ppn) == codec.make_block(plane, block)
+    assert codec.page_parity(ppn) == page % 2
+
+
+# ---- CMT ----------------------------------------------------------------------
+
+
+@given(
+    capacity=st.integers(1, 16),
+    ops=st.lists(st.tuples(st.integers(0, 40), st.booleans()), max_size=200),
+)
+def test_cmt_never_overflows_and_stays_consistent(capacity, ops):
+    cmt = CachedMappingTable(capacity)
+    for lpn, dirty in ops:
+        if cmt.touch(lpn):
+            if dirty:
+                cmt.mark_dirty(lpn)
+        else:
+            cmt.insert(lpn, dirty=dirty)
+        assert len(cmt) <= capacity
+        assert lpn in cmt  # just-accessed entry is resident
+    # every cached lpn answers is_dirty without error
+    for lpn in cmt.cached_lpns():
+        cmt.is_dirty(lpn)
+
+
+@given(ops=st.lists(st.integers(0, 30), min_size=1, max_size=100))
+def test_cmt_hits_plus_misses_equals_touches(ops):
+    cmt = CachedMappingTable(8)
+    for lpn in ops:
+        if not cmt.touch(lpn):
+            cmt.insert(lpn)
+    assert cmt.stats.hits + cmt.stats.misses == len(ops)
+
+
+# ---- allocator parity ------------------------------------------------------------
+
+
+@given(parities=st.lists(st.integers(0, 1), min_size=1, max_size=20))
+def test_allocate_with_parity_always_honours_parity(parities):
+    # max 20: worst-case parity skipping fits one plane's pool
+    array = FlashArray(TINY)
+    alloc = PlaneAllocator(0, array)
+    for i, parity in enumerate(parities):
+        ppn, _skipped = alloc.allocate_with_parity(i, parity)
+        assert array.codec.page_parity(ppn) == parity
+
+
+@given(parities=st.lists(st.integers(0, 1), min_size=1, max_size=20))
+def test_parity_waste_bounded_by_moves(parities):
+    # max 20 moves: worst-case 2 slots per move fits one plane's pool
+    array = FlashArray(TINY)
+    alloc = PlaneAllocator(0, array)
+    total_skips = 0
+    for i, parity in enumerate(parities):
+        _, skipped = alloc.allocate_with_parity(i, parity)
+        total_skips += skipped
+    assert total_skips <= 2 * len(parities)
+
+
+# ---- timekeeper ------------------------------------------------------------------
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["read", "program", "erase", "copyback"]), st.integers(0, TINY.num_planes - 1)),
+        max_size=60,
+    )
+)
+def test_resource_timelines_monotone(ops):
+    clock = FlashTimekeeper(TINY, TimingParams())
+    t = 0.0
+    for op, plane in ops:
+        end = getattr(
+            clock,
+            {"read": "read_page", "program": "program_page", "erase": "erase_block", "copyback": "copy_back"}[op],
+        )(plane, t)
+        assert end > t  # every operation takes positive time
+        assert clock.plane_free[plane] >= end or op in ("read",)
+        t = end  # chain
+
+
+@given(st.data())
+def test_copy_back_never_slower_than_inter_plane(data):
+    plane = data.draw(st.integers(0, TINY.num_planes - 1))
+    start = data.draw(st.floats(0, 1e6, allow_nan=False))
+    c1 = FlashTimekeeper(TINY, TimingParams())
+    c2 = FlashTimekeeper(TINY, TimingParams())
+    cb = c1.copy_back(plane, start) - start
+    ip = c2.inter_plane_copy(plane, plane, start) - start
+    assert cb < ip
+
+
+# ---- whole-FTL state machine -------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ftl_name=st.sampled_from(
+        ["dloop", "dloop-mp", "dftl", "fast", "bast", "last", "superblock", "pagemap"]
+    ),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, int(TINY.num_lpns * 0.6) - 1)),
+        min_size=1,
+        max_size=300,
+    ),
+)
+def test_ftl_matches_reference_model(ftl_name, ops):
+    """Any op sequence: the FTL's mapping equals a dict reference model,
+    flash state stays consistent, and time never goes backwards."""
+    kwargs = {"cmt_entries": 16} if ftl_name in ("dloop", "dloop-mp", "dftl") else {}
+    if ftl_name == "superblock":
+        kwargs = {"superblock_size": 2}
+    ftl = create_ftl(ftl_name, TINY, TimingParams(), **kwargs)
+    reference = {}
+    t = 0.0
+    for is_write, lpn in ops:
+        if is_write:
+            end = ftl.write_page(lpn, t)
+            reference[lpn] = True
+        else:
+            end = ftl.read_page(lpn, t)
+        assert end >= t
+        t = end
+    assert set(int(x) for x in ftl.mapped_lpns()) == set(reference)
+    ftl.verify_integrity()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.integers(0, int(TINY.num_lpns * 0.6) - 1),
+        min_size=50,
+        max_size=400,
+    )
+)
+def test_dloop_update_plane_invariant(ops):
+    """Every valid data page of DLOOP sits on plane lpn %% planes unless
+    emergency relocation moved it (tracked in gc stats)."""
+    ftl = create_ftl("dloop", TINY, TimingParams(), cmt_entries=16)
+    for i, lpn in enumerate(ops):
+        ftl.write_page(lpn, float(i))
+    if ftl.gc_stats.emergency_passes == 0:
+        for lpn in ftl.mapped_lpns():
+            plane = ftl.codec.ppn_to_plane(int(ftl.page_table[lpn]))
+            assert plane == int(lpn) % TINY.num_planes
+
+
+# ---- zipf --------------------------------------------------------------------------
+
+
+@given(n=st.integers(1, 500), theta=st.floats(0, 2, allow_nan=False))
+def test_zipf_pmf_properties(n, theta):
+    from repro.traces.zipf import ZipfSampler
+
+    z = ZipfSampler(n, theta, np.random.default_rng(0))
+    pmf = z.pmf()
+    assert len(pmf) == n
+    assert math.isclose(pmf.sum(), 1.0, rel_tol=1e-9)
+    assert np.all(np.diff(pmf) <= 1e-12)  # non-increasing
+
+
+# ---- write buffer -------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    capacity=st.integers(1, 12),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, int(TINY.num_lpns * 0.5) - 1)),
+        min_size=1,
+        max_size=150,
+    ),
+)
+def test_write_buffer_flush_equals_direct_writes(capacity, ops):
+    """buffer(ops) + flush leaves the same mapped set as direct writes."""
+    from repro.controller.writebuffer import WriteBuffer
+
+    direct = create_ftl("pagemap", TINY, TimingParams())
+    buffered_ftl = create_ftl("pagemap", TINY, TimingParams())
+    buffer = WriteBuffer(buffered_ftl, capacity_pages=capacity)
+    t = 0.0
+    for is_write, lpn in ops:
+        if is_write:
+            direct.write_page(lpn, t)
+            t2 = buffer.write_page(lpn, t)
+        else:
+            direct.read_page(lpn, t)
+            t2 = buffer.read_page(lpn, t)
+        assert t2 >= t
+        t += 1000.0
+    buffer.flush(t)
+    assert set(map(int, direct.mapped_lpns())) == set(map(int, buffered_ftl.mapped_lpns()))
+    buffered_ftl.verify_integrity()
+
+
+# ---- latency histogram ---------------------------------------------------------------
+
+
+@given(values=st.lists(st.floats(0.1, 1e6, allow_nan=False, allow_infinity=False), min_size=1, max_size=300))
+def test_histogram_percentiles_ordered(values):
+    from repro.metrics.latency import LatencyHistogram
+
+    h = LatencyHistogram()
+    h.record_many(values)
+    assert h.total == len(values)
+    p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+    assert p50 <= p95 <= p99
+    # estimates stay within one log-bucket of the true maximum
+    top_bucket_hi = h.bucket_bounds(h._bucket_of(max(h.max_seen, h.min_us)))[1]
+    assert h.percentile(100) <= top_bucket_hi + 1e-6

@@ -1,0 +1,69 @@
+"""Steady-state detection (warm-up trimming)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.steady_state import mser_start, steady_mean, steady_state_start
+
+
+def transient_series(warmup=40, steady=200, seed=0):
+    rng = np.random.default_rng(seed)
+    ramp = np.linspace(10.0, 1.0, warmup)  # decaying warm-up
+    flat = 1.0 + 0.05 * rng.standard_normal(steady)
+    return np.concatenate([ramp, flat])
+
+
+def test_detects_end_of_warmup():
+    series = transient_series()
+    start = steady_state_start(series, window=10, tolerance=0.25)
+    assert start is not None
+    assert 20 <= start <= 60  # near the true boundary (40)
+
+
+def test_flat_series_starts_immediately():
+    start = steady_state_start([5.0] * 50, window=5)
+    assert start == 0
+
+
+def test_never_settling_returns_none():
+    series = np.linspace(0, 100, 60)  # monotone ramp, no steady state
+    assert steady_state_start(series, window=5, tolerance=0.05) is None
+
+
+def test_short_series_returns_none():
+    assert steady_state_start([1, 2, 3], window=10) is None
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        steady_state_start([1, 2, 3], window=0)
+    with pytest.raises(ValueError):
+        steady_state_start([1, 2, 3], tolerance=0)
+    with pytest.raises(ValueError):
+        mser_start([1, 2, 3], max_trim=0)
+
+
+def test_mser_trims_transient():
+    series = transient_series()
+    start = mser_start(series)
+    assert 20 <= start <= 80
+
+
+def test_mser_flat_series_no_trim():
+    assert mser_start([3.0] * 40) == 0
+
+
+def test_mser_tiny_series():
+    assert mser_start([1.0, 2.0]) == 0
+
+
+def test_steady_mean_close_to_true_level():
+    series = transient_series()
+    mean = steady_mean(series, window=10, tolerance=0.25)
+    assert mean == pytest.approx(1.0, abs=0.1)
+    # naive mean is badly biased by the warm-up
+    assert abs(np.mean(series) - 1.0) > 0.3
+
+
+def test_steady_mean_empty():
+    assert steady_mean([]) == 0.0

@@ -1,0 +1,201 @@
+"""Timing model: operation latencies, resource contention, parallelism."""
+
+import pytest
+
+from repro.flash.timekeeper import FlashTimekeeper
+from repro.flash.timing import TimingParams
+
+
+@pytest.fixture
+def clock(small_geometry, timing):
+    return FlashTimekeeper(small_geometry, timing)
+
+
+XFER = 0.2 + 256 * 0.025  # cmd/addr + 256-byte page transfer
+
+
+def test_read_latency_when_idle(clock):
+    end = clock.read_page(0, 0.0)
+    assert end == pytest.approx(25.0 + XFER)
+    assert clock.counters.reads == 1
+
+
+def test_program_latency_when_idle(clock):
+    end = clock.program_page(0, 0.0)
+    assert end == pytest.approx(XFER + 200.0)
+    assert clock.counters.programs == 1
+
+
+def test_erase_latency_when_idle(clock):
+    end = clock.erase_block(0, 0.0)
+    assert end == pytest.approx(0.2 + 2000.0)
+    assert clock.counters.erases == 1
+
+
+def test_copy_back_latency_and_no_channel_use(clock):
+    end = clock.copy_back(0, 0.0)
+    assert end == pytest.approx(225.0)
+    # the channel is untouched: a transfer on the same channel starts at 0
+    channel = clock.geometry.plane_to_channel(0)
+    assert clock.channel_free[channel] == 0.0
+    assert clock.counters.copybacks == 1
+
+
+def test_inter_plane_copy_latency(clock):
+    """Fig. 2: read + out-transfer + in-transfer + program."""
+    src, dst = 0, 1  # distinct planes, distinct channels in small geometry
+    end = clock.inter_plane_copy(src, dst, 0.0)
+    assert end == pytest.approx(25.0 + XFER + XFER + 200.0)
+    assert clock.counters.interplane_copies == 1
+
+
+def test_copy_back_saves_about_30_percent(paper_geometry, timing):
+    """The ~30% figure holds for the paper's 2 KB pages (Section III.A)."""
+    clock = FlashTimekeeper(paper_geometry, timing)
+    cb = clock.copy_back(0, 0.0)
+    clock2 = FlashTimekeeper(paper_geometry, timing)
+    ip = clock2.inter_plane_copy(0, 1, 0.0)
+    saving = (ip - cb) / ip
+    assert 0.25 < saving < 0.35  # paper: "can be 30% faster"
+
+
+def test_same_plane_operations_serialize(clock):
+    first = clock.program_page(0, 0.0)
+    second = clock.program_page(0, 0.0)
+    assert second > first
+
+
+def test_different_planes_same_channel_share_bus_only(clock):
+    geom = clock.geometry
+    # planes 0 and 2 share channel 0 in the 2-channel small geometry
+    assert geom.plane_to_channel(0) == geom.plane_to_channel(2)
+    end0 = clock.program_page(0, 0.0)
+    end2 = clock.program_page(2, 0.0)
+    # second write waits only for the bus transfer, then programs in parallel
+    assert end2 == pytest.approx(end0 + XFER)
+
+
+def test_different_channels_fully_parallel(clock):
+    geom = clock.geometry
+    assert geom.plane_to_channel(0) != geom.plane_to_channel(1)
+    end0 = clock.program_page(0, 0.0)
+    end1 = clock.program_page(1, 0.0)
+    assert end1 == pytest.approx(end0)
+
+
+def test_concurrent_copy_backs_overlap_fully(clock):
+    """Fig. 3: multiple copy-backs on different planes at once."""
+    ends = [clock.copy_back(p, 0.0) for p in range(clock.geometry.num_planes)]
+    assert all(end == pytest.approx(225.0) for end in ends)
+
+
+def test_copy_back_does_not_block_other_planes_bus(clock):
+    clock.copy_back(0, 0.0)
+    # a read on plane 2 (same channel as plane 0) is not delayed
+    end = clock.read_page(2, 0.0)
+    assert end == pytest.approx(25.0 + XFER)
+
+
+def test_plane_request_counters(clock):
+    clock.read_page(1, 0.0)
+    clock.program_page(1, 0.0)
+    clock.copy_back(1, 0.0)
+    clock.erase_block(1, 0.0)
+    assert clock.counters.plane_ops[1] == 4
+    assert clock.counters.plane_ops[0] == 0
+
+
+def test_inter_plane_copy_counts_read_and_program(clock):
+    clock.inter_plane_copy(0, 1, 0.0)
+    assert clock.counters.reads == 1
+    assert clock.counters.programs == 1
+    assert clock.counters.plane_ops[0] == 1
+    assert clock.counters.plane_ops[1] == 1
+
+
+def test_reset_measurements_zeros_everything(clock):
+    clock.program_page(0, 0.0)
+    clock.reset_measurements()
+    assert clock.plane_free.max() == 0.0
+    assert clock.channel_free.max() == 0.0
+    assert clock.counters.programs == 0
+    assert clock.counters.plane_ops.sum() == 0
+
+
+def test_quiesce_time(clock):
+    assert clock.quiesce_time() == 0.0
+    end = clock.program_page(3, 10.0)
+    assert clock.quiesce_time() == pytest.approx(end)
+
+
+def test_start_time_respected(clock):
+    end = clock.read_page(0, 1000.0)
+    assert end == pytest.approx(1000.0 + 25.0 + XFER)
+
+
+def test_custom_timing_parameters(small_geometry):
+    timing = TimingParams(page_read_us=10, page_program_us=100, bus_per_byte_us=0.0, cmd_addr_us=0.0)
+    clock = FlashTimekeeper(small_geometry, timing)
+    assert clock.copy_back(0, 0.0) == pytest.approx(110.0)
+    assert clock.program_page(1, 0.0) == pytest.approx(100.0)
+
+
+# ---- die-aware fidelity (chip serial bus, Fig. 1b) ----------------------------
+
+
+def multi_chip_geometry():
+    from repro.flash.geometry import SSDGeometry
+
+    # 1 channel shared by 2 chips x 1 die x 2 planes = 4 planes, 2 dies
+    return SSDGeometry(
+        channels=1,
+        packages_per_channel=1,
+        chips_per_package=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=8,
+        page_size=256,
+        extra_blocks_percent=25.0,
+    )
+
+
+def test_die_aware_noop_for_single_chip(small_geometry, timing):
+    simple = FlashTimekeeper(small_geometry, timing)
+    aware = FlashTimekeeper(small_geometry, timing, die_aware=True)
+    for plane in (0, 1, 0, 2, 3):
+        assert simple.program_page(plane, 0.0) == pytest.approx(
+            aware.program_page(plane, 0.0)
+        )
+
+
+def test_die_aware_serialises_same_die_transfers(timing):
+    geom = multi_chip_geometry()
+    clock = FlashTimekeeper(geom, timing, die_aware=True)
+    die0_planes = list(geom.planes_of_die(0))
+    end0 = clock.program_page(die0_planes[0], 0.0)
+    end1 = clock.program_page(die0_planes[1], 0.0)
+    # same die: second transfer waits for the die bus, programs overlap
+    assert end1 > 0
+    xfer = timing.page_transfer_us(geom.page_size)
+    assert end1 == pytest.approx(end0 + xfer)
+
+
+def test_die_bus_separate_from_channel(timing):
+    """Same channel, different dies: the shared channel still serialises
+    transfers, so die-awareness adds no extra delay there."""
+    geom = multi_chip_geometry()
+    aware = FlashTimekeeper(geom, timing, die_aware=True)
+    simple = FlashTimekeeper(geom, timing)
+    d0 = list(geom.planes_of_die(0))[0]
+    d1 = list(geom.planes_of_die(1))[0]
+    assert aware.program_page(d0, 0.0) == pytest.approx(simple.program_page(d0, 0.0))
+    assert aware.program_page(d1, 0.0) == pytest.approx(simple.program_page(d1, 0.0))
+
+
+def test_die_aware_reset(timing):
+    geom = multi_chip_geometry()
+    clock = FlashTimekeeper(geom, timing, die_aware=True)
+    clock.program_page(0, 0.0)
+    clock.reset_measurements()
+    assert clock.die_bus_free.max() == 0.0

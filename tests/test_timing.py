@@ -1,0 +1,53 @@
+"""Table I timing parameters and the Fig. 2/3 copy-back arithmetic."""
+
+import pytest
+
+from repro.flash.timing import TimingParams
+
+
+def test_table1_defaults():
+    t = TimingParams()
+    assert t.page_read_us == 25.0
+    assert t.page_program_us == 200.0
+    assert t.block_erase_us == 2000.0
+    assert t.bus_per_byte_us == 0.025
+    assert t.cmd_addr_us == 0.2
+
+
+def test_copy_back_is_read_plus_program():
+    t = TimingParams()
+    assert t.copy_back_us() == 225.0
+
+
+def test_inter_plane_copy_matches_fig2():
+    """Paper: ~325 us = 25 + 50 + 50 + 200 for a 2 KB page."""
+    t = TimingParams()
+    cost = t.inter_plane_copy_us(2048)
+    assert cost == pytest.approx(25 + 2 * (0.2 + 51.2) + 200)
+    assert cost == pytest.approx(327.8)
+
+
+def test_copy_back_saving_is_about_30_percent():
+    """Section III.A: intra-plane copy-back saves ~30% vs inter-plane."""
+    t = TimingParams()
+    assert t.copy_back_saving(2048) == pytest.approx(0.307, abs=0.01)
+
+
+def test_transfer_scales_with_bytes():
+    t = TimingParams()
+    assert t.transfer_us(2048) == pytest.approx(51.2)
+    assert t.transfer_us(4096) == pytest.approx(102.4)
+    assert t.page_transfer_us(2048) == pytest.approx(51.4)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        TimingParams(page_read_us=-1)
+
+
+def test_describe_contains_all_table1_rows():
+    desc = TimingParams().describe()
+    assert desc["Block erase latency (us)"] == 2000.0
+    assert desc["Page read latency (us)"] == 25.0
+    assert desc["Page write latency (us)"] == 200.0
+    assert desc["Chip transfer latency per byte (us)"] == 0.025

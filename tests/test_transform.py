@@ -1,0 +1,122 @@
+"""Trace transformation tools."""
+
+import pytest
+
+from repro.traces.model import TraceRequest
+from repro.traces.transform import (
+    fit_addresses,
+    filter_ops,
+    merge_traces,
+    scale_rate,
+    time_window,
+    truncate,
+)
+
+
+def make_trace():
+    return [
+        TraceRequest(0.0, 0, 4096, True),
+        TraceRequest(1000.0, 8192, 4096, False),
+        TraceRequest(2000.0, 1_000_000, 4096, True),
+        TraceRequest(3000.0, 16384, 8192, False),
+    ]
+
+
+def test_scale_rate_compresses_timeline():
+    out = scale_rate(make_trace(), 2.0)
+    assert [r.arrival_us for r in out] == [0.0, 500.0, 1000.0, 1500.0]
+    assert out[0].offset_bytes == 0  # addresses untouched
+
+
+def test_scale_rate_validation():
+    with pytest.raises(ValueError):
+        scale_rate(make_trace(), 0)
+
+
+def test_time_window_selects_and_rebases():
+    out = time_window(make_trace(), 1000.0, 3000.0)
+    assert len(out) == 2
+    assert out[0].arrival_us == 0.0
+    assert out[1].arrival_us == 1000.0
+
+
+def test_time_window_no_rebase():
+    out = time_window(make_trace(), 1000.0, 3000.0, rebase=False)
+    assert out[0].arrival_us == 1000.0
+
+
+def test_time_window_validation():
+    with pytest.raises(ValueError):
+        time_window(make_trace(), 5.0, 5.0)
+
+
+def test_fit_addresses_wrap():
+    out = fit_addresses(make_trace(), capacity_bytes=65536, mode="wrap")
+    assert all(r.end_bytes <= 65536 for r in out)
+    # wrap preserves small offsets exactly
+    assert out[0].offset_bytes == 0
+    assert out[1].offset_bytes == 8192
+
+
+def test_fit_addresses_scale_preserves_order():
+    out = fit_addresses(make_trace(), capacity_bytes=65536, mode="scale")
+    offsets = [r.offset_bytes for r in out]
+    assert offsets == sorted(offsets[:3]) + [offsets[3]]
+    assert all(r.end_bytes <= 65536 for r in out)
+
+
+def test_fit_addresses_noop_when_fits():
+    trace = make_trace()[:2]
+    out = fit_addresses(trace, capacity_bytes=10**9, mode="scale")
+    assert [r.offset_bytes for r in out] == [r.offset_bytes for r in trace]
+
+
+def test_fit_addresses_validation():
+    with pytest.raises(ValueError):
+        fit_addresses(make_trace(), 0)
+    with pytest.raises(ValueError):
+        fit_addresses(make_trace(), 1024, mode="fold")
+
+
+def test_filter_ops():
+    writes = filter_ops(make_trace(), reads=False)
+    reads = filter_ops(make_trace(), writes=False)
+    assert all(r.is_write for r in writes)
+    assert not any(r.is_write for r in reads)
+    assert len(writes) + len(reads) == 4
+    with pytest.raises(ValueError):
+        filter_ops(make_trace(), writes=False, reads=False)
+
+
+def test_merge_traces_ordered():
+    a = [TraceRequest(0.0, 0, 512, True), TraceRequest(100.0, 0, 512, True)]
+    b = [TraceRequest(50.0, 512, 512, False)]
+    merged = merge_traces(a, b)
+    assert [r.arrival_us for r in merged] == [0.0, 50.0, 100.0]
+
+
+def test_truncate():
+    assert len(truncate(make_trace(), 2)) == 2
+    assert truncate(make_trace(), 0) == []
+    with pytest.raises(ValueError):
+        truncate(make_trace(), -1)
+
+
+def test_transforms_compose_for_scaled_replay(small_geometry):
+    """The intended pipeline: window -> fit -> scale rate -> replay."""
+    from repro.controller.device import SimulatedSSD
+    from repro.sim.request import IoOp
+    from repro.traces.synthetic import generate, make_workload
+
+    spec = make_workload("exchange", num_requests=500, footprint_bytes=32 * 1024 * 1024)
+    raw = generate(spec)
+    prepared = scale_rate(
+        fit_addresses(time_window(raw, 0.0, 5e5), small_geometry.capacity_bytes), 2.0
+    )
+    assert prepared
+    ssd = SimulatedSSD(small_geometry, ftl="pagemap")
+    for r in prepared:
+        op = IoOp.WRITE if r.is_write else IoOp.READ
+        ssd.submit(ssd.byte_request(r.arrival_us, r.offset_bytes, r.size_bytes, op))
+    ssd.run()
+    ssd.verify()

@@ -1,0 +1,109 @@
+"""DRAM write buffer: hit/evict/flush semantics and device integration."""
+
+import pytest
+
+from repro.controller.device import SimulatedSSD
+from repro.controller.writebuffer import WriteBuffer
+from repro.ftl.pagemap import PageMapFtl
+from repro.sim.request import IoOp, IoRequest
+
+
+@pytest.fixture
+def ftl(small_geometry, timing):
+    return PageMapFtl(small_geometry, timing)
+
+
+def test_write_absorbed_in_dram(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=4, dram_latency_us=2.0)
+    end = buffer.write_page(5, 100.0)
+    assert end == 102.0  # DRAM latency only
+    assert ftl.stats.host_writes == 0  # nothing reached flash
+    assert 5 in buffer
+
+
+def test_rewrite_is_a_hit(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=4)
+    buffer.write_page(5, 0.0)
+    buffer.write_page(5, 10.0)
+    assert buffer.stats.write_hits == 1
+    assert len(buffer) == 1
+
+
+def test_eviction_writes_lru_to_flash(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=2)
+    buffer.write_page(1, 0.0)
+    buffer.write_page(2, 0.0)
+    end = buffer.write_page(3, 0.0)  # evicts lpn 1
+    assert ftl.stats.host_writes == 1
+    assert ftl.is_mapped(1)
+    assert 1 not in buffer and 2 in buffer and 3 in buffer
+    assert end > 2.0  # includes the flash program
+
+
+def test_buffered_read_served_from_dram(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=4, dram_latency_us=2.0)
+    buffer.write_page(7, 0.0)
+    end = buffer.read_page(7, 50.0)
+    assert end == 52.0
+    assert buffer.stats.read_hits == 1
+
+
+def test_unbuffered_read_goes_to_flash(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=4)
+    ftl.write_page(9, 0.0)
+    end = buffer.read_page(9, 1000.0)
+    assert end > 1000.0 + 20  # flash read time
+    assert buffer.stats.read_misses == 1
+
+
+def test_flush_drains_everything(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=8)
+    for lpn in range(5):
+        buffer.write_page(lpn, 0.0)
+    buffer.flush(0.0)
+    assert len(buffer) == 0
+    for lpn in range(5):
+        assert ftl.is_mapped(lpn)
+    ftl.verify_integrity()
+
+
+def test_rewrite_refreshes_recency(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=2)
+    buffer.write_page(1, 0.0)
+    buffer.write_page(2, 0.0)
+    buffer.write_page(1, 0.0)  # refresh 1 -> LRU is now 2
+    buffer.write_page(3, 0.0)
+    assert 2 not in buffer
+    assert 1 in buffer
+
+
+def test_device_integration_absorbs_hot_rewrites(small_geometry, timing):
+    plain = SimulatedSSD(small_geometry, timing, ftl="pagemap")
+    buffered = SimulatedSSD(small_geometry, timing, ftl="pagemap", write_buffer_pages=32)
+    hot_requests = [IoRequest(float(i * 10), i % 8, 1, IoOp.WRITE) for i in range(400)]
+    plain.run(list(hot_requests))
+    buffered.run(list(hot_requests))
+    assert buffered.counters.programs < plain.counters.programs / 4
+    assert buffered.mean_response_ms() < plain.mean_response_ms()
+    buffered.flush()
+    buffered.verify()
+
+
+def test_device_flush_without_buffer_is_noop(small_geometry, timing):
+    ssd = SimulatedSSD(small_geometry, timing, ftl="pagemap")
+    assert ssd.flush() == ssd.engine.now
+
+
+def test_parameter_validation(ftl):
+    with pytest.raises(ValueError):
+        WriteBuffer(ftl, capacity_pages=0)
+    with pytest.raises(ValueError):
+        WriteBuffer(ftl, capacity_pages=4, dram_latency_us=-1)
+
+
+def test_hit_ratio_statistic(ftl):
+    buffer = WriteBuffer(ftl, capacity_pages=4)
+    buffer.write_page(1, 0.0)
+    buffer.write_page(1, 0.0)
+    buffer.write_page(2, 0.0)
+    assert buffer.stats.write_hit_ratio == pytest.approx(1 / 3)
