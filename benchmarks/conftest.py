@@ -4,6 +4,12 @@ Benchmarks reproduce the paper's tables/figures at a scaled geometry
 (see DESIGN.md section 2 and repro.experiments.config).  Every bench
 prints the regenerated rows/series; pytest-benchmark records the
 harness runtime (one round — these are simulations, not microkernels).
+
+Benches that need device-state readings go through the observability
+layer (``repro.obs``): attach the snapshot sampler with
+``stats_interval_us=BENCH_STATS_INTERVAL_US`` and read plain-python
+values from ``ssd.run_stats`` / ``counters.as_dict()`` instead of
+polling numpy internals ad hoc.
 """
 
 import pytest
@@ -12,6 +18,8 @@ import pytest
 BENCH_SCALE = 1.0 / 32.0
 #: Requests per simulated trace replay.
 BENCH_REQUESTS = 4000
+#: Snapshot-sampler grid for benches that record run statistics.
+BENCH_STATS_INTERVAL_US = 50_000.0
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -27,3 +35,8 @@ def bench_scale():
 @pytest.fixture
 def bench_requests():
     return BENCH_REQUESTS
+
+
+@pytest.fixture
+def bench_stats_interval_us():
+    return BENCH_STATS_INTERVAL_US

@@ -8,7 +8,7 @@ behind it.  This bench compares the read-latency distribution of DLOOP
 with and without copy-back on a GC-heavy mixed load.
 """
 
-from conftest import BENCH_REQUESTS, BENCH_SCALE, run_once
+from conftest import BENCH_REQUESTS, BENCH_SCALE, BENCH_STATS_INTERVAL_US, run_once
 
 from repro.controller.device import SimulatedSSD
 from repro.experiments.config import GB, scaled_geometry
@@ -25,7 +25,7 @@ def run_tails():
     trace = generate(spec)
     rows = []
     for ftl in ("dloop", "dloop-nocb"):
-        ssd = SimulatedSSD(geometry, ftl=ftl)
+        ssd = SimulatedSSD(geometry, ftl=ftl, stats_interval_us=BENCH_STATS_INTERVAL_US)
         ssd.precondition(0.55)
         for r in trace:
             op = IoOp.WRITE if r.is_write else IoOp.READ
@@ -34,6 +34,7 @@ def run_tails():
         histogram = LatencyHistogram()
         histogram.record_many(ssd.stats.read_response_us)
         summary = histogram.summary()
+        counters = ssd.counters.as_dict()
         rows.append(
             {
                 "ftl": ftl,
@@ -42,7 +43,7 @@ def run_tails():
                 "read_p95_ms": summary["p95_us"] / 1000,
                 "read_p99_ms": summary["p99_us"] / 1000,
                 "gc_moved": ssd.ftl.gc_stats.moved_pages,
-                "bus_busy_s": float(ssd.counters.channel_busy_us.sum()) / 1e6,
+                "bus_busy_s": sum(counters["channel_busy_us"]) / 1e6,
             }
         )
     return rows

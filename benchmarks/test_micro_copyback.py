@@ -21,7 +21,7 @@ def measure_micro():
     clock3 = FlashTimekeeper(geometry, timing)
     # N concurrent copy-backs, one per plane (Fig. 3 parallelism)
     concurrent = max(clock3.copy_back(p, 0.0) for p in range(geometry.num_planes))
-    bus_busy = float(clock3.counters.channel_busy_us.sum())
+    bus_busy = sum(clock3.counters.as_dict()["channel_busy_us"])
     return {
         "inter_plane_us": inter,
         "copy_back_us": intra,

@@ -38,11 +38,13 @@ def main() -> None:
     requests = bursty_requests(geometry)
     rows = []
     for background in (False, True):
+        # stats_interval_us attaches the repro.obs snapshot sampler;
+        # ssd.telemetry renders its series as sparklines.
         ssd = SimulatedSSD(
             geometry,
             ftl="dloop",
             background_gc=background,
-            telemetry_interval_us=100_000.0,
+            stats_interval_us=100_000.0,
         )
         ssd.precondition(0.62)
         ssd.run(list(requests))

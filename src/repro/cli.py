@@ -3,6 +3,7 @@
 Four subcommands cover the library's workflows end to end::
 
     repro-sim simulate  --ftl dloop --workload financial1 ...   # one run
+    repro-sim simulate  --trace run.json --stats-interval-ms 50 # + observability
     repro-sim tracegen  --workload tpcc --out trace.spc ...     # save a trace
     repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
     repro-sim report    --input results.json                    # tables/charts
@@ -68,9 +69,9 @@ def cmd_simulate(args) -> int:
         geometry = config.geometry
     else:
         geometry = _build_geometry(args)
-    if args.trace:
-        trace = _load_trace(args.trace)
-        trace_name = args.trace
+    if args.replay:
+        trace = _load_trace(args.replay)
+        trace_name = args.replay
     else:
         footprint = int(args.footprint_mb * MB) if args.footprint_mb else int(geometry.capacity_bytes * 0.55)
         spec = make_workload(args.workload, num_requests=args.requests,
@@ -85,11 +86,19 @@ def cmd_simulate(args) -> int:
             gc_threshold=args.gc_threshold,
             precondition_fill=args.precondition if args.precondition > 0 else None,
         )
+    if args.stats_interval_ms is not None and args.stats_interval_ms <= 0:
+        raise SystemExit("--stats-interval-ms must be > 0")
+    stats_interval_us = (
+        args.stats_interval_ms * 1000.0
+        if args.stats_interval_ms is not None
+        else None
+    )
     if args.iodepth:
         from repro.controller.closedloop import ClosedLoopDriver
         from repro.controller.device import SimulatedSSD as _SSD
 
-        ssd = _SSD(config.geometry, config.timing, ftl=config.ftl, **config.build_kwargs())
+        ssd = _SSD(config.geometry, config.timing, ftl=config.ftl,
+                   stats_interval_us=stats_interval_us, **config.build_kwargs())
         if config.precondition_fill:
             ssd.precondition(config.precondition_fill)
         page = config.geometry.page_size
@@ -99,12 +108,23 @@ def cmd_simulate(args) -> int:
             first = min(r.offset_bytes // page, num_lpns - 1)
             last = min((r.end_bytes - 1) // page, num_lpns - 1)
             ops.append((first, max(1, last - first + 1), r.is_write))
-        loop_result = ClosedLoopDriver(ssd, ops, iodepth=args.iodepth).run()
+        driver = ClosedLoopDriver(ssd, ops, iodepth=args.iodepth)
+        if args.trace:
+            from repro.obs.chrome_trace import ChromeTraceWriter
+
+            with ChromeTraceWriter(args.trace).recording():
+                loop_result = driver.run()
+            print(f"chrome trace saved to {args.trace}")
+        else:
+            loop_result = driver.run()
         rows = [{"metric": k, "value": v} for k, v in loop_result.row(page).items()]
         rows.append({"metric": "duration (s)", "value": loop_result.duration_us / 1e6})
         print(format_table(rows, title=f"{config.ftl} closed-loop iodepth={args.iodepth} on {trace_name}"))
         return 0
-    result = run_simulation(trace, config, trace_name=trace_name)
+    result = run_simulation(
+        trace, config, trace_name=trace_name,
+        trace_path=args.trace, stats_interval_us=stats_interval_us,
+    )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
         {"metric": "read mean (ms)", "value": result.read_response_ms},
@@ -119,8 +139,13 @@ def cmd_simulate(args) -> int:
     ]
     if result.cmt_hit_ratio is not None:
         rows.insert(5, {"metric": "CMT hit ratio", "value": result.cmt_hit_ratio})
+    run_stats = result.extras.get("run_stats")
+    if run_stats:
+        rows += [{"metric": f"stats: {k}", "value": v} for k, v in run_stats.items()]
     capacity_mb = geometry.capacity_bytes / MB
     print(format_table(rows, title=f"{config.ftl} on {trace_name} ({capacity_mb:g} MB SSD)"))
+    if args.trace:
+        print(f"\nchrome trace saved to {args.trace} (open in https://ui.perfetto.dev)")
     if args.json:
         from repro.experiments.results_io import save_results_json
 
@@ -229,7 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run one trace through one FTL")
     sim.add_argument("--ftl", choices=available_ftls(), default="dloop")
-    sim.add_argument("--trace", help="replay a trace file (.spc/.csv or DiskSim ASCII)")
+    sim.add_argument("--replay", help="replay a trace file (.spc/.csv or DiskSim ASCII)")
+    sim.add_argument("--trace", metavar="OUT.json",
+                     help="record a Chrome trace-event JSON of the run "
+                          "(open in Perfetto / chrome://tracing)")
+    sim.add_argument("--stats-interval-ms", type=float, default=None,
+                     help="sample live run statistics (queue depth, free blocks, "
+                          "CMT, copy-back ratio) every N simulated ms")
     sim.add_argument("--cmt-entries", type=int, default=4096)
     sim.add_argument("--gc-threshold", type=int, default=3)
     sim.add_argument("--precondition", type=float, default=0.75,

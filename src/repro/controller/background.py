@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.ftl.base import Ftl
+from repro.obs.tracebus import BUS
 from repro.sim.engine import Engine
 
 
@@ -76,6 +77,9 @@ class BackgroundGc:
         start = max(self.engine.now, self.ftl.clock.quiesce_time())
         end, did_work = self.ftl.background_collect(start, self.target_free)
         if did_work:
+            if BUS.enabled:
+                BUS.emit("gc", "background_pass", start, end - start,
+                         {"pass": self.stats.passes + 1}, "background_gc")
             self.stats.passes += 1
             self._passes_this_idle += 1
             if self._passes_this_idle < self.max_passes_per_idle:

@@ -19,6 +19,7 @@ from typing import List
 import numpy as np
 
 from repro.ftl.base import Ftl
+from repro.obs.tracebus import BUS
 from repro.sim.engine import Engine
 from repro.sim.request import IoOp, IoRequest
 
@@ -75,6 +76,8 @@ class Controller:
         # is idle (for background work) when this returns to zero.
         self.outstanding += 1
         now = self.engine.now
+        if BUS.enabled:
+            BUS.counter("queue_depth", now, {"outstanding": self.outstanding})
         completion = now
         if request.op is IoOp.WRITE:
             completion = max(completion, self.backend.write_pages(request.lpns, now))
@@ -91,6 +94,16 @@ class Controller:
     def _complete(self, request: IoRequest) -> None:
         self.outstanding -= 1
         response = request.response_us
+        if BUS.enabled:
+            BUS.emit(
+                "host",
+                request.op.value,
+                request.arrival_us,
+                response,
+                {"lpn": request.start_lpn, "pages": request.page_count},
+                "host:0",
+            )
+            BUS.counter("queue_depth", self.engine.now, {"outstanding": self.outstanding})
         for callback in self.on_complete:
             callback(request)
         if self.outstanding == 0:

@@ -30,6 +30,7 @@ class SimulatedSSD:
         write_buffer_pages: Optional[int] = None,
         background_gc: bool = False,
         telemetry_interval_us: Optional[float] = None,
+        stats_interval_us: Optional[float] = None,
         **ftl_kwargs,
     ):
         self.geometry = geometry if geometry is not None else SSDGeometry()
@@ -52,14 +53,22 @@ class SimulatedSSD:
             from repro.controller.background import BackgroundGc
 
             self.background_gc = BackgroundGc(self.engine, self.ftl, self.controller)
+        # ``stats_interval_us`` is the canonical knob; the historical
+        # ``telemetry_interval_us`` name keeps working as an alias.
         self.telemetry = None
-        if telemetry_interval_us is not None:
+        self.run_stats = None
+        self.metrics = None
+        if stats_interval_us is None:
+            stats_interval_us = telemetry_interval_us
+        if stats_interval_us is not None:
             from repro.metrics.timeseries import TelemetrySampler
 
             self._sampler = TelemetrySampler(
-                self.engine, self.ftl, self.controller, telemetry_interval_us
+                self.engine, self.ftl, self.controller, stats_interval_us
             )
             self.telemetry = self._sampler.telemetry
+            self.run_stats = self._sampler.stats
+            self.metrics = self._sampler.registry
 
     # ---- request construction -----------------------------------------------
 

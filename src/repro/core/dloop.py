@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.flash.address import decode_translation_owner, is_translation_owner
 from repro.flash.geometry import SSDGeometry
+from repro.obs.tracebus import BUS
 from repro.flash.timing import TimingParams
 from repro.ftl.allocator import PlaneAllocator
 from repro.flash.array import FlashStateError
@@ -223,6 +224,7 @@ class DloopFtl(Ftl):
         overflow = False  # plane space exhausted mid-pass: degrade moves
         for ppn in valids:
             owner = self.array.owner_of(ppn)
+            move_start = t
             if overflow:
                 new_ppn = self._gc_alloc_any(owner)
                 t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
@@ -251,6 +253,12 @@ class DloopFtl(Ftl):
                 self.gc_stats.controller_moves += 1
             self.array.invalidate(ppn)
             self.gc_stats.moved_pages += 1
+            if BUS.enabled:
+                BUS.emit("gc", "migrate", move_start, 0.0,
+                         {"plane": plane, "from_ppn": int(ppn), "to_ppn": int(new_ppn),
+                          "mode": "controller" if (overflow or not self.use_copyback)
+                          else "copyback"},
+                         None, "i")
             if is_translation_owner(owner):
                 # Relocating a translation page only touches the SRAM GTD.
                 self.gtd.update(decode_translation_owner(owner), new_ppn)

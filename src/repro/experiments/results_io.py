@@ -11,8 +11,6 @@ import csv
 import json
 from typing import Iterable, List, TextIO, Union
 
-import numpy as np
-
 from repro.experiments.runner import SimulationResult
 from repro.metrics.wear import WearStats
 
@@ -48,7 +46,12 @@ _SCALAR_FIELDS = [
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Flatten a result into JSON-serialisable primitives."""
+    """Flatten a result into JSON-serialisable primitives.
+
+    ``plane_ops`` arrives as plain ints (``FlashCounters.as_dict``);
+    the ``int()`` pass only defends against hand-built results still
+    carrying numpy arrays.
+    """
     payload = {name: getattr(result, name) for name in _SCALAR_FIELDS}
     payload["plane_ops"] = [int(x) for x in result.plane_ops]
     payload["wear"] = {
@@ -66,7 +69,7 @@ def result_from_dict(payload: dict) -> SimulationResult:
     wear = WearStats(**payload["wear"])
     kwargs = {name: payload[name] for name in _SCALAR_FIELDS}
     return SimulationResult(
-        plane_ops=np.asarray(payload["plane_ops"], dtype=np.int64),
+        plane_ops=[int(x) for x in payload["plane_ops"]],
         wear=wear,
         extras=dict(payload.get("extras", {})),
         **kwargs,

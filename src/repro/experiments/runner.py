@@ -28,7 +28,8 @@ class SimulationResult:
     write_response_ms: float
     p99_response_ms: float
     sdrpp: float
-    plane_ops: np.ndarray
+    #: per-plane op counts, plain ints (FlashCounters.as_dict order)
+    plane_ops: List[int]
     num_requests: int
     host_pages_written: int
     host_pages_read: int
@@ -80,10 +81,24 @@ def run_simulation(
     config: ExperimentConfig,
     *,
     trace_name: str = "trace",
+    trace_path: Optional[str] = None,
+    stats_interval_us: Optional[float] = None,
 ) -> SimulationResult:
-    """Replay a trace through a freshly built (and preconditioned) SSD."""
+    """Replay a trace through a freshly built (and preconditioned) SSD.
+
+    ``trace_path`` records the measured portion of the run (after
+    preconditioning) as Chrome trace-event JSON for Perfetto;
+    ``stats_interval_us`` attaches the periodic snapshot sampler and
+    folds its scalar digest into ``result.extras['run_stats']``.
+    """
     wall_start = time.perf_counter()
-    ssd = SimulatedSSD(config.geometry, config.timing, ftl=config.ftl, **config.build_kwargs())
+    ssd = SimulatedSSD(
+        config.geometry,
+        config.timing,
+        ftl=config.ftl,
+        stats_interval_us=stats_interval_us,
+        **config.build_kwargs(),
+    )
     if config.precondition_fill:
         ssd.precondition(config.precondition_fill)
 
@@ -94,7 +109,15 @@ def run_simulation(
         size = min(r.size_bytes, capacity - offset)
         op = IoOp.WRITE if r.is_write else IoOp.READ
         requests.append(ssd.byte_request(r.arrival_us, offset, size, op))
-    end = ssd.run(requests)
+    if trace_path is not None:
+        from repro.obs.chrome_trace import ChromeTraceWriter
+
+        # Attach after preconditioning so the trace shows the measured
+        # run, not the bulk fill.
+        with ChromeTraceWriter(trace_path).recording():
+            end = ssd.run(requests)
+    else:
+        end = ssd.run(requests)
 
     ftl = ssd.ftl
     stats = ssd.stats
@@ -106,7 +129,12 @@ def run_simulation(
     def ms(values: List[float]) -> float:
         return float(np.mean(values)) / 1000.0 if values else 0.0
 
+    extras: dict = {}
+    if ssd.run_stats is not None:
+        extras["run_stats"] = ssd.run_stats.summary()
+
     return SimulationResult(
+        extras=extras,
         ftl=config.ftl,
         trace=trace_name,
         mean_response_ms=stats.mean_response_ms(),
@@ -115,7 +143,7 @@ def run_simulation(
         write_response_ms=ms(stats.write_response_us),
         p99_response_ms=stats.percentile_us(99) / 1000.0,
         sdrpp=sdrpp(counters),
-        plane_ops=counters.plane_ops.copy(),
+        plane_ops=counters.as_dict()["plane_ops"],
         num_requests=stats.count,
         host_pages_written=stats.pages_written,
         host_pages_read=stats.pages_read,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.flash.timekeeper import FlashTimekeeper
+from repro.obs.tracebus import BUS
 
 
 def _check_same_die(clock: FlashTimekeeper, planes: Sequence[int]) -> None:
@@ -47,6 +48,9 @@ def multi_plane_program(clock: FlashTimekeeper, planes: Sequence[int], start: fl
         xfer_end = t + xfer
         clock.channel_free[channel] = xfer_end
         clock.counters.channel_busy_us[channel] += xfer
+        if BUS.enabled:
+            BUS.emit("flash", "mp_xfer_in", t, xfer,
+                     {"plane": plane, "channel": channel}, f"channel:{channel}")
         program_starts.append((plane, xfer_end))
         t = xfer_end
     end = start
@@ -57,6 +61,9 @@ def multi_plane_program(clock: FlashTimekeeper, planes: Sequence[int], start: fl
         clock.counters.programs += 1
         clock.counters.plane_ops[plane] += 1
         clock.counters.plane_busy_us[plane] += op_end - op_start
+        if BUS.enabled:
+            BUS.emit("flash", "mp_program", op_start, op_end - op_start,
+                     {"plane": plane, "channel": channel}, f"plane:{plane}")
         end = max(end, op_end)
     return end
 
@@ -81,6 +88,11 @@ def multi_plane_read(clock: FlashTimekeeper, planes: Sequence[int], start: float
         clock.counters.reads += 1
         clock.counters.plane_ops[plane] += 1
         clock.counters.plane_busy_us[plane] += xfer_end - start
+        if BUS.enabled:
+            ids = {"plane": plane, "channel": channel}
+            BUS.emit("flash", "mp_read", sensed - timing.page_read_us,
+                     xfer_end - (sensed - timing.page_read_us), ids, f"plane:{plane}")
+            BUS.emit("flash", "mp_xfer_out", xfer_start, xfer, ids, f"channel:{channel}")
         end = max(end, xfer_end)
     return end
 
@@ -102,5 +114,8 @@ def multi_plane_erase(clock: FlashTimekeeper, planes: Sequence[int], start: floa
         clock.counters.erases += 1
         clock.counters.plane_ops[plane] += 1
         clock.counters.plane_busy_us[plane] += op_end - op_start
+        if BUS.enabled:
+            BUS.emit("flash", "mp_erase", op_start, op_end - op_start,
+                     {"plane": plane, "channel": channel}, f"plane:{plane}")
         end = max(end, op_end)
     return end

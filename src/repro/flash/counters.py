@@ -39,6 +39,13 @@ class FlashCounters:
         """Std-dev of per-plane request counts (the raw SDRPP quantity)."""
         return float(np.std(self.plane_ops))
 
+    @property
+    def copyback_ratio(self) -> float:
+        """Fraction of GC page moves served by copy-back (vs. the
+        controller path) — the paper's headline mechanism share."""
+        moves = self.copybacks + self.interplane_copies
+        return self.copybacks / moves if moves else 0.0
+
     def snapshot(self) -> dict:
         return {
             "reads": self.reads,
@@ -49,3 +56,35 @@ class FlashCounters:
             "skipped_pages": self.skipped_pages,
             "plane_ops": self.plane_ops.copy(),
         }
+
+    def as_dict(self) -> dict:
+        """Plain-python view (no numpy types), for traces/JSON/reports.
+
+        Trace snapshots and result serialisation consume this instead
+        of reaching into the numpy arrays directly.
+        """
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "copybacks": self.copybacks,
+            "interplane_copies": self.interplane_copies,
+            "skipped_pages": self.skipped_pages,
+            "total_ops": self.total_ops,
+            "copyback_ratio": self.copyback_ratio,
+            "plane_ops": [int(x) for x in self.plane_ops],
+            "plane_busy_us": [float(x) for x in self.plane_busy_us],
+            "channel_busy_us": [float(x) for x in self.channel_busy_us],
+        }
+
+    def reset(self) -> None:
+        """Zero every count in place (references stay valid)."""
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self.copybacks = 0
+        self.interplane_copies = 0
+        self.skipped_pages = 0
+        self.plane_ops.fill(0)
+        self.plane_busy_us.fill(0.0)
+        self.channel_busy_us.fill(0.0)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.flash.counters import FlashCounters
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import TimingParams
+from repro.obs.tracebus import BUS
 
 
 class FlashTimekeeper:
@@ -86,6 +87,10 @@ class FlashTimekeeper:
         self.counters.reads += 1
         self.counters.channel_busy_us[channel] += end - xfer_start
         self._note_plane(plane, sense_start, end)
+        if BUS.enabled:
+            ids = {"plane": plane, "channel": channel}
+            BUS.emit("flash", "read", sense_start, end - sense_start, ids, f"plane:{plane}")
+            BUS.emit("flash", "xfer_out", xfer_start, end - xfer_start, ids, f"channel:{channel}")
         return end
 
     def program_page(self, plane: int, start: float) -> float:
@@ -100,6 +105,10 @@ class FlashTimekeeper:
         self.counters.programs += 1
         self.counters.channel_busy_us[channel] += xfer_end - xfer_start
         self._note_plane(plane, xfer_start, end)
+        if BUS.enabled:
+            ids = {"plane": plane, "channel": channel}
+            BUS.emit("flash", "program", prog_start, end - prog_start, ids, f"plane:{plane}")
+            BUS.emit("flash", "xfer_in", xfer_start, xfer_end - xfer_start, ids, f"channel:{channel}")
         return end
 
     def erase_block(self, plane: int, start: float) -> float:
@@ -114,6 +123,9 @@ class FlashTimekeeper:
         self.counters.erases += 1
         self.counters.channel_busy_us[channel] += cmd_end - cmd_start
         self._note_plane(plane, cmd_start, end)
+        if BUS.enabled:
+            ids = {"plane": plane, "channel": channel}
+            BUS.emit("flash", "erase", erase_start, end - erase_start, ids, f"plane:{plane}")
         return end
 
     def copy_back(self, plane: int, start: float) -> float:
@@ -123,6 +135,9 @@ class FlashTimekeeper:
         self.plane_free[plane] = end
         self.counters.copybacks += 1
         self._note_plane(plane, op_start, end)
+        if BUS.enabled:
+            BUS.emit("flash", "copy_back", op_start, end - op_start,
+                     {"plane": plane}, f"plane:{plane}")
         return end
 
     def inter_plane_copy(self, src_plane: int, dst_plane: int, start: float) -> float:
@@ -132,6 +147,9 @@ class FlashTimekeeper:
         # read_page/program_page already counted a read and a program;
         # additionally tally the composite operation.
         self.counters.interplane_copies += 1
+        if BUS.enabled:
+            BUS.emit("flash", "inter_plane_copy", start, 0.0,
+                     {"src_plane": src_plane, "dst_plane": dst_plane}, None, "i")
         return end
 
     # ---- introspection -------------------------------------------------------
@@ -145,4 +163,5 @@ class FlashTimekeeper:
         self.plane_free.fill(0.0)
         self.channel_free.fill(0.0)
         self.die_bus_free.fill(0.0)
-        self.counters = FlashCounters(self.geometry.num_planes, self.geometry.channels)
+        # In-place reset keeps references (samplers, exporters) valid.
+        self.counters.reset()

@@ -28,6 +28,7 @@ from repro.flash.geometry import SSDGeometry
 from repro.flash.timekeeper import FlashTimekeeper
 from repro.flash.timing import TimingParams
 from repro.ftl.gcontrol import GcStats
+from repro.obs.tracebus import BUS
 
 
 class OutOfSpaceError(RuntimeError):
@@ -188,6 +189,9 @@ class Ftl(abc.ABC):
         if not queue:
             return now
         self.gc_stats.invocations += 1
+        if BUS.enabled:
+            BUS.emit("gc", "gc_invocation", now, 0.0,
+                     {"trigger_plane": plane, "low_planes": sorted(queue)}, None, "i")
         t = now
         # Bounded foreground GC: each host operation funds at most
         # ``max_gc_passes`` victim collections, spent on the most
@@ -287,6 +291,15 @@ class Ftl(abc.ABC):
                 # at the allocation site.
                 return now
             emergency = True
+        if BUS.enabled:
+            BUS.emit("gc", "victim_selected", now, 0.0,
+                     {"plane": plane, "victim": victim,
+                      "valid": int(self.array.block_valid[victim]),
+                      "invalid": int(self.array.block_invalid[victim]),
+                      "emergency": emergency},
+                     None, "i")
+        moved_before = self.gc_stats.moved_pages
+        copyback_before = self.gc_stats.copyback_moves
         self._gc_planes.add(plane)
         try:
             if emergency:
@@ -296,6 +309,12 @@ class Ftl(abc.ABC):
         finally:
             self._gc_planes.discard(plane)
         self.gc_stats.passes += 1
+        if BUS.enabled:
+            BUS.emit("gc", "gc_pass", now, t - now,
+                     {"plane": plane, "victim": victim, "emergency": emergency,
+                      "moved_pages": self.gc_stats.moved_pages - moved_before,
+                      "copyback_moves": self.gc_stats.copyback_moves - copyback_before},
+                     f"plane:{plane}")
         return t
 
     # -- emergency relocation (cross-plane, controller path) -------------------
@@ -432,7 +451,7 @@ class Ftl(abc.ABC):
             "host_reads": self.stats.host_reads,
             "host_writes": self.stats.host_writes,
             "gc": self.gc_stats,
-            "flash": self.clock.counters.snapshot(),
+            "flash": self.clock.counters.as_dict(),
         }
 
 

@@ -24,6 +24,7 @@ from repro.ftl.base import Ftl, OutOfSpaceError
 from repro.ftl.cmt import CachedMappingTable
 from repro.ftl.gtd import GlobalTranslationDirectory
 from repro.ftl.translation import TranslationManager
+from repro.obs.tracebus import BUS
 
 TRANSLATION_PLANE = 0
 
@@ -177,10 +178,16 @@ class DftlFtl(Ftl):
             else:
                 new_ppn = self.data_allocator.allocate(owner)
             dst_plane = self.codec.ppn_to_plane(new_ppn)
+            move_start = t
             t = self.clock.inter_plane_copy(plane, dst_plane, t)
             self.gc_stats.controller_moves += 1
             self.array.invalidate(ppn)
             self.gc_stats.moved_pages += 1
+            if BUS.enabled:
+                BUS.emit("gc", "migrate", move_start, 0.0,
+                         {"plane": plane, "from_ppn": int(ppn), "to_ppn": int(new_ppn),
+                          "mode": "controller"},
+                         None, "i")
             if is_translation_owner(owner):
                 self.gtd.update(decode_translation_owner(owner), new_ppn)
             else:

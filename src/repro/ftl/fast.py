@@ -36,6 +36,7 @@ from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import TimingParams
 from repro.ftl.base import Ftl, OutOfSpaceError
 from repro.ftl.logblock import MapJournal
+from repro.obs.tracebus import BUS
 
 
 @dataclass
@@ -209,13 +210,19 @@ class FastFtl(Ftl):
             # Partial merge: pull the not-yet-streamed offsets in.
             t = self._fill_tail(block, lbn, filled, t)
             self.fast_stats.partial_merges += 1
+            merge_kind = "partial_merge"
         else:
             self.fast_stats.switch_merges += 1
+            merge_kind = "switch_merge"
         self.data_block[lbn] = block
         self._log_count -= 1
         t = self.map_journal.record_update(t)
         if old_block != -1:
             t = self._erase_data_block(old_block, t)
+        if BUS.enabled:
+            BUS.emit("gc", merge_kind, now, t - now,
+                     {"lbn": lbn, "log_block": block},
+                     f"plane:{self.codec.block_to_plane(block)}")
         return t
 
     def _fill_tail(self, block: int, lbn: int, first_off: int, now: float) -> float:
@@ -255,6 +262,10 @@ class FastFtl(Ftl):
         self.gc_stats.erased_blocks += 1
         self._log_count -= 1
         self.fast_stats.full_merges += 1
+        if BUS.enabled:
+            BUS.emit("gc", "full_merge", now, t - now,
+                     {"victim": victim, "merged_lbns": len(lbns)},
+                     f"plane:{self.codec.block_to_plane(victim)}")
         return t
 
     def _merge_lbn(self, lbn: int, now: float) -> float:

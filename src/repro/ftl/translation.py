@@ -25,6 +25,7 @@ from repro.flash.array import FlashArray, FlashStateError
 from repro.flash.timekeeper import FlashTimekeeper
 from repro.ftl.cmt import CachedMappingTable
 from repro.ftl.gtd import GlobalTranslationDirectory
+from repro.obs.tracebus import BUS
 
 
 class _Allocator(Protocol):
@@ -84,7 +85,11 @@ class TranslationManager:
     def charge_lookup(self, lpn: int, now: float) -> float:
         """Bring ``lpn``'s mapping into the CMT; returns time afterwards."""
         if self.cmt.touch(lpn):
+            if BUS.enabled:
+                BUS.emit("cmt", "hit", now, 0.0, {"lpn": lpn}, None, "i")
             return now
+        if BUS.enabled:
+            BUS.emit("cmt", "miss", now, 0.0, {"lpn": lpn}, None, "i")
         t = now
         while self.cmt.is_full:
             t = self._evict(t)
@@ -110,6 +115,8 @@ class TranslationManager:
     def _evict(self, now: float) -> float:
         lpn, dirty = self.cmt.evict()
         if dirty:
+            if BUS.enabled:
+                BUS.emit("cmt", "dirty_evict", now, 0.0, {"lpn": lpn}, None, "i")
             return self.write_back(self.gtd.tvpn_of(lpn), now)
         return now
 

@@ -1,10 +1,12 @@
 """Time-series telemetry over a simulation.
 
-Samples device gauges on a fixed simulated-time grid, driven by engine
-events: free-block levels, outstanding queue depth, cumulative GC
-passes and flash programs.  Series render as sparklines
-(`repro.metrics.ascii_chart.series_chart`) — enough to see GC storms,
-queue build-ups and idle reclamation at a glance.
+Thin rendering layer over the observability snapshot sampler
+(:class:`repro.obs.sampler.StatsSampler`): the sampler owns the
+clock-driven sampling pass (free-block levels, queue depth, CMT
+occupancy, copy-back ratio, cumulative GC passes and flash programs);
+this module keeps the sparkline-friendly :class:`Telemetry` view of
+those series (`repro.metrics.ascii_chart.series_chart`) — enough to see
+GC storms, queue build-ups and idle reclamation at a glance.
 """
 
 from __future__ import annotations
@@ -12,10 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.obs.sampler import StatsSampler
+
 
 @dataclass
 class Telemetry:
-    """Collected series, all aligned to ``times_us``."""
+    """Collected series, all aligned to ``times_us``.
+
+    The list fields alias the underlying :class:`~repro.obs.sampler.
+    RunStats` series (shared objects, not copies), so a Telemetry built
+    from a live sampler always reflects the latest samples.
+    """
 
     interval_us: float
     times_us: List[float] = field(default_factory=list)
@@ -24,6 +33,19 @@ class Telemetry:
     outstanding: List[int] = field(default_factory=list)
     gc_passes: List[int] = field(default_factory=list)
     flash_programs: List[int] = field(default_factory=list)
+
+    @classmethod
+    def from_run_stats(cls, stats) -> "Telemetry":
+        """View over a :class:`repro.obs.sampler.RunStats` (aliased lists)."""
+        return cls(
+            interval_us=stats.interval_us,
+            times_us=stats.times_us,
+            min_free_blocks=stats.min_free_blocks,
+            total_free_blocks=stats.total_free_blocks,
+            outstanding=stats.queue_depth,
+            gc_passes=stats.gc_passes,
+            flash_programs=stats.flash_programs,
+        )
 
     def series(self) -> Dict[str, List[float]]:
         return {
@@ -40,46 +62,16 @@ class Telemetry:
         return series_chart(self.series(), title=title)
 
 
-class TelemetrySampler:
+class TelemetrySampler(StatsSampler):
     """Periodic gauge sampler attached to a running simulation.
 
-    The sampler re-arms itself while host requests remain outstanding
-    or scheduled, so it never keeps an otherwise-finished simulation
-    alive indefinitely.
+    A :class:`~repro.obs.sampler.StatsSampler` whose collected series
+    are additionally exposed as a :class:`Telemetry` for sparkline
+    rendering.  The sampler re-arms itself while host requests remain
+    outstanding or scheduled, so it never keeps an otherwise-finished
+    simulation alive indefinitely.
     """
 
     def __init__(self, engine, ftl, controller, interval_us: float = 50_000.0):
-        if interval_us <= 0:
-            raise ValueError("interval_us must be > 0")
-        self.engine = engine
-        self.ftl = ftl
-        self.controller = controller
-        self.telemetry = Telemetry(interval_us=interval_us)
-        self._armed = False
-        # sample on every arrival edge too, so bursts are never missed
-        controller.on_idle.append(self._sample_now)
-        self._arm()
-
-    def _arm(self) -> None:
-        if self._armed:
-            return
-        self._armed = True
-        self.engine.schedule_after(self.telemetry.interval_us, self._tick)
-
-    def _tick(self) -> None:
-        self._armed = False
-        self._sample_now()
-        # keep sampling only while the simulation still has work queued
-        if self.engine.pending > 0:
-            self._arm()
-
-    def _sample_now(self) -> None:
-        planes = self.ftl.geometry.num_planes
-        free = [self.ftl.array.free_block_count(p) for p in range(planes)]
-        t = self.telemetry
-        t.times_us.append(self.engine.now)
-        t.min_free_blocks.append(min(free))
-        t.total_free_blocks.append(sum(free))
-        t.outstanding.append(self.controller.outstanding)
-        t.gc_passes.append(self.ftl.gc_stats.passes)
-        t.flash_programs.append(self.ftl.clock.counters.programs)
+        super().__init__(engine, ftl, controller, interval_us)
+        self.telemetry = Telemetry.from_run_stats(self.stats)

@@ -1,0 +1,188 @@
+"""Chrome trace-event JSON exporter.
+
+Subscribes to a :class:`~repro.obs.tracebus.TraceBus` and writes the
+collected events in the Chrome trace-event format (the ``traceEvents``
+JSON object flavour), loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  The layout puts every hardware resource on its
+own row:
+
+* process "planes"   — one thread (row) per flash plane; flash command
+  spans (read/program/erase/copy-back) and the GC passes that contain
+  them nest on the plane that executed them;
+* process "channels" — one row per channel; data-transfer spans;
+* process "host"     — request enqueue→complete spans;
+* process "sim"      — engine dispatch / background-GC / CMT instants;
+* counter events (queue depth, free blocks, ...) attach to the "host"
+  process so Perfetto renders them as counter tracks.
+
+Timestamps are simulated microseconds — exactly the unit the format
+expects — so the viewer's timeline *is* the device timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.obs.tracebus import BUS, TraceBus, TraceEvent
+
+#: Synthetic process ids, one per resource family.
+PID_PLANES = 1
+PID_CHANNELS = 2
+PID_HOST = 3
+PID_SIM = 4
+
+_PROCESS_NAMES = {
+    PID_PLANES: "planes",
+    PID_CHANNELS: "channels",
+    PID_HOST: "host",
+    PID_SIM: "sim",
+}
+
+
+class ChromeTraceWriter:
+    """Buffers bus events and serialises them as Chrome trace JSON.
+
+    Usage (also what ``repro-sim simulate --trace out.json`` does)::
+
+        writer = ChromeTraceWriter("out.json")
+        with writer.recording():          # subscribes to the global BUS
+            ssd.run(requests)
+        # file written on exit
+
+    or manually: ``writer.attach()`` ... ``writer.close()``.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]], *, bus: Optional[TraceBus] = None):
+        self.sink = sink
+        self.bus = bus if bus is not None else BUS
+        self.events: List[TraceEvent] = []
+        self._attached = False
+        self._extra_tracks: dict = {}  # track name -> (pid, tid)
+
+    # ---- subscription ----------------------------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def attach(self) -> "ChromeTraceWriter":
+        if not self._attached:
+            # Fail fast on an unwritable path: a long simulation must
+            # not run to completion only to lose its trace on close().
+            if isinstance(self.sink, str):
+                with open(self.sink, "w", encoding="utf-8"):
+                    pass
+            self.bus.subscribe(self)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.bus.unsubscribe(self)
+            self._attached = False
+
+    def recording(self):
+        """Context manager: attach on entry, detach + write on exit."""
+        writer = self
+
+        class _Recording:
+            def __enter__(self):
+                writer.attach()
+                return writer
+
+            def __exit__(self, *exc):
+                writer.close()
+                return False
+
+        return _Recording()
+
+    # ---- serialisation ---------------------------------------------------
+
+    def _resolve_track(self, event: TraceEvent):
+        """Map a bus event's track to a (pid, tid) pair."""
+        track = event.track
+        if track is not None:
+            kind, _, index = track.partition(":")
+            if kind == "plane" and index.isdigit():
+                return PID_PLANES, int(index)
+            if kind == "channel" and index.isdigit():
+                return PID_CHANNELS, int(index)
+            if kind == "host":
+                return PID_HOST, 0
+            # unknown track names get their own row under "sim"
+            if track not in self._extra_tracks:
+                self._extra_tracks[track] = (PID_SIM, 1 + len(self._extra_tracks))
+            return self._extra_tracks[track]
+        if event.ph == "C":
+            return PID_HOST, 0
+        return PID_SIM, 0
+
+    def _metadata(self, used) -> List[dict]:
+        records = []
+        for pid, name in _PROCESS_NAMES.items():
+            records.append(
+                {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                 "args": {"name": name}}
+            )
+        for pid, tid in sorted(used):
+            if pid == PID_PLANES:
+                label = f"plane {tid}"
+            elif pid == PID_CHANNELS:
+                label = f"channel {tid}"
+            else:
+                continue
+            records.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": label}}
+            )
+            records.append(
+                {"ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+                 "args": {"sort_index": tid}}
+            )
+        for track, (pid, tid) in self._extra_tracks.items():
+            records.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": track}}
+            )
+        return records
+
+    def to_json(self) -> dict:
+        """The complete trace object (also what gets written to disk)."""
+        trace_events: List[dict] = []
+        used = set()
+        # Stable sort by timestamp: Perfetto tolerates disorder but the
+        # schema tests (and humans reading the JSON) want monotonic ts.
+        for event in sorted(self.events, key=lambda e: e.ts_us):
+            pid, tid = self._resolve_track(event)
+            used.add((pid, tid))
+            record = {
+                "ph": event.ph,
+                "cat": event.category,
+                "name": event.name,
+                "ts": event.ts_us,
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.ph == "X":
+                record["dur"] = event.duration_us
+            if event.args:
+                record["args"] = event.args
+            trace_events.append(record)
+        return {
+            "traceEvents": self._metadata(used) + trace_events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self) -> None:
+        """Serialise the buffered events to ``sink``."""
+        payload = self.to_json()
+        if isinstance(self.sink, str):
+            with open(self.sink, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+        else:
+            json.dump(payload, self.sink)
+
+    def close(self) -> None:
+        """Detach from the bus and write the file."""
+        self.detach()
+        self.write()

@@ -1,0 +1,166 @@
+"""Periodic run-statistics sampler driven by the simulation clock.
+
+Samples device gauges on a fixed simulated-time grid (plus the idle
+edges, so bursts are never missed): host queue depth, free-block count
+per plane, CMT occupancy, and the cumulative copy-back ratio, alongside
+the cumulative GC-pass and flash-program counts.  Three consumers feed
+off one pass:
+
+* :class:`RunStats` — aligned time series, the programmatic surface
+  (``repro.metrics.timeseries`` renders these as sparklines);
+* a :class:`~repro.obs.registry.MetricsRegistry` — live gauges/
+  histograms for anything polling "current state";
+* the :class:`~repro.obs.tracebus.TraceBus` — counter samples that the
+  Chrome-trace exporter turns into Perfetto counter tracks (queue
+  depth, free blocks, copy-back ratio) whenever a trace is recording.
+
+Sampling never perturbs results: it only reads state, and its engine
+events re-arm solely while host work remains pending, so it cannot keep
+a finished simulation alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracebus import BUS, TraceBus
+
+#: Fixed bucket bounds for the queue-depth histogram (requests).
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class RunStats:
+    """Collected series, all aligned to ``times_us``."""
+
+    interval_us: float
+    times_us: List[float] = field(default_factory=list)
+    queue_depth: List[int] = field(default_factory=list)
+    min_free_blocks: List[int] = field(default_factory=list)
+    total_free_blocks: List[int] = field(default_factory=list)
+    plane_free_blocks: List[List[int]] = field(default_factory=list)
+    cmt_entries: List[int] = field(default_factory=list)
+    copyback_ratio: List[float] = field(default_factory=list)
+    gc_passes: List[int] = field(default_factory=list)
+    flash_programs: List[int] = field(default_factory=list)
+
+    @property
+    def samples(self) -> int:
+        return len(self.times_us)
+
+    def series(self) -> Dict[str, List[float]]:
+        """The headline per-sample series (no per-plane vectors)."""
+        return {
+            "queue_depth": self.queue_depth,
+            "min_free_blocks": self.min_free_blocks,
+            "total_free_blocks": self.total_free_blocks,
+            "cmt_entries": self.cmt_entries,
+            "copyback_ratio": self.copyback_ratio,
+            "gc_passes": self.gc_passes,
+            "flash_programs": self.flash_programs,
+        }
+
+    def summary(self) -> dict:
+        """Scalar digest (JSON/CSV-friendly; used in result extras)."""
+        if not self.times_us:
+            return {"samples": 0}
+        return {
+            "samples": self.samples,
+            "span_us": self.times_us[-1] - self.times_us[0],
+            "max_queue_depth": max(self.queue_depth),
+            "low_water_free_blocks": min(self.min_free_blocks),
+            "final_copyback_ratio": self.copyback_ratio[-1],
+            "final_cmt_entries": self.cmt_entries[-1],
+        }
+
+
+class StatsSampler:
+    """Attaches to a running simulation and records :class:`RunStats`.
+
+    The sampler arms one engine event per interval while the simulation
+    still has work queued, and additionally samples on every idle edge
+    (outstanding dropping to zero) so short bursts between grid points
+    are captured.  This is the component behind
+    ``repro-sim simulate --stats-interval-ms N`` and
+    ``SimulatedSSD(stats_interval_us=...)``.
+    """
+
+    def __init__(
+        self,
+        engine,
+        ftl,
+        controller,
+        interval_us: float = 50_000.0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        bus: Optional[TraceBus] = None,
+    ):
+        if interval_us <= 0:
+            raise ValueError("interval_us must be > 0")
+        self.engine = engine
+        self.ftl = ftl
+        self.controller = controller
+        self.stats = RunStats(interval_us=interval_us)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.bus = bus if bus is not None else BUS
+        self._num_planes = ftl.geometry.num_planes
+        self._depth_histogram = self.registry.histogram(
+            "queue_depth", QUEUE_DEPTH_BUCKETS
+        )
+        self._armed = False
+        # sample on every idle edge too, so bursts are never missed
+        controller.on_idle.append(self.sample_now)
+        self._arm()
+
+    def _arm(self) -> None:
+        if self._armed:
+            return
+        self._armed = True
+        self.engine.schedule_after(self.stats.interval_us, self._tick)
+
+    def _tick(self) -> None:
+        self._armed = False
+        self.sample_now()
+        # keep sampling only while the simulation still has work queued
+        if self.engine.pending > 0:
+            self._arm()
+
+    def sample_now(self) -> None:
+        """Take one snapshot of every gauge at the current sim time."""
+        array = self.ftl.array
+        free = [array.free_block_count(p) for p in range(self._num_planes)]
+        counters = self.ftl.clock.counters
+        gc_copies = counters.copybacks + counters.interplane_copies
+        copyback_ratio = counters.copybacks / gc_copies if gc_copies else 0.0
+        depth = self.controller.outstanding
+        cmt = len(self.ftl.cmt) if hasattr(self.ftl, "cmt") else 0
+        now = self.engine.now
+
+        stats = self.stats
+        stats.times_us.append(now)
+        stats.queue_depth.append(depth)
+        stats.min_free_blocks.append(min(free))
+        stats.total_free_blocks.append(sum(free))
+        stats.plane_free_blocks.append(free)
+        stats.cmt_entries.append(cmt)
+        stats.copyback_ratio.append(copyback_ratio)
+        stats.gc_passes.append(self.ftl.gc_stats.passes)
+        stats.flash_programs.append(counters.programs)
+
+        registry = self.registry
+        registry.gauge("queue_depth_now").set(depth)
+        registry.gauge("free_blocks_min").set(min(free))
+        registry.gauge("free_blocks_total").set(sum(free))
+        registry.gauge("cmt_entries").set(cmt)
+        registry.gauge("copyback_ratio").set(copyback_ratio)
+        self._depth_histogram.observe(depth)
+
+        bus = self.bus
+        if bus.enabled:
+            bus.counter("queue_depth", now, {"outstanding": depth})
+            bus.counter("free_blocks", now, {"min": min(free), "total": sum(free)})
+            bus.counter("copyback_ratio", now, {"ratio": copyback_ratio})
+            if hasattr(self.ftl, "cmt"):
+                bus.counter("cmt_entries", now, {"cached": cmt})

@@ -1,0 +1,142 @@
+"""TraceBus: the process-wide instrumentation event bus.
+
+Every instrumented hot path in the simulator (engine dispatch, flash
+commands, request lifecycles, GC) publishes :class:`TraceEvent` records
+here; exporters (``repro.obs.chrome_trace``), samplers and tests
+subscribe.  The design constraint is *near-zero overhead when nobody is
+listening*: instrumentation sites guard every emit with a single
+attribute lookup::
+
+    from repro.obs.tracebus import BUS
+    ...
+    if BUS.enabled:
+        BUS.emit("flash", "read", start, end - start,
+                 {"plane": plane, "channel": channel}, f"plane:{plane}")
+
+``enabled`` is a plain instance attribute (no property, no descriptor),
+so the disabled cost is one global load plus one attribute load per
+site — unmeasurable next to the numpy work the sites already do.  It is
+managed automatically: subscribing turns the bus on, removing the last
+subscriber turns it off.  Setting ``bus.enabled = False`` by hand pauses
+delivery without tearing subscribers down (instrumentation sites skip
+their emits; direct calls to :meth:`emit` still deliver — sites are
+required to guard).
+
+Events are plain tuples (a :class:`TraceEvent` NamedTuple), created only
+when the bus is enabled.  Timestamps are *simulated* microseconds, so a
+recorded trace replays the device timeline, not wall clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    """One instrumentation record.
+
+    ``ph`` follows the Chrome trace-event phase vocabulary for the
+    subset the simulator uses: ``"X"`` complete span, ``"i"`` instant,
+    ``"C"`` counter sample.
+    """
+
+    category: str
+    name: str
+    ts_us: float
+    duration_us: float
+    args: Optional[dict]
+    track: Optional[str]
+    ph: str
+
+
+Subscriber = Callable[[TraceEvent], Any]
+
+
+class TraceBus:
+    """Synchronous pub/sub bus for simulation trace events.
+
+    Subscribers are invoked in subscription order, on the emitting
+    call stack (the simulator is single-threaded and deterministic, so
+    ordering is reproducible).  Subscribers must not mutate simulation
+    state: tracing on vs. off must leave results bit-identical.
+    """
+
+    __slots__ = ("enabled", "_subscribers")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self._subscribers: List[Subscriber] = []
+
+    # ---- subscription ----------------------------------------------------
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Register ``fn`` and enable the bus.  Returns ``fn``."""
+        self._subscribers.append(fn)
+        self.enabled = True
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove ``fn``; the bus disables itself when none remain."""
+        self._subscribers.remove(fn)
+        if not self._subscribers:
+            self.enabled = False
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def clear(self) -> None:
+        """Drop every subscriber and disable the bus (test teardown)."""
+        self._subscribers.clear()
+        self.enabled = False
+
+    # ---- emission --------------------------------------------------------
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        ts_us: float,
+        duration_us: float = 0.0,
+        args: Optional[dict] = None,
+        track: Optional[str] = None,
+        ph: str = "X",
+    ) -> None:
+        """Deliver one event to every subscriber, in order.
+
+        Callers on hot paths must guard with ``if bus.enabled:`` —
+        ``emit`` itself does not re-check, so a paused-but-subscribed
+        bus can still be driven explicitly (tests rely on this).
+        """
+        event = TraceEvent(category, name, ts_us, duration_us, args, track, ph)
+        for fn in self._subscribers:
+            fn(event)
+
+    def counter(self, name: str, ts_us: float, values: dict) -> None:
+        """Convenience: emit a counter sample (phase ``"C"``)."""
+        self.emit("counter", name, ts_us, 0.0, values, None, "C")
+
+    # ---- capture helper --------------------------------------------------
+
+    @contextmanager
+    def capture(self):
+        """Collect events into a list for the ``with`` block's duration::
+
+            with BUS.capture() as events:
+                run_simulation(...)
+            assert any(e.category == "gc" for e in events)
+        """
+        events: List[TraceEvent] = []
+        self.subscribe(events.append)
+        try:
+            yield events
+        finally:
+            self.unsubscribe(events.append)
+
+
+#: The process-wide bus all built-in instrumentation publishes to.
+#: Simulations are single-threaded per process (the parallel experiment
+#: runner forks processes, each with its own bus), so a module-level
+#: singleton keeps the wiring out of every constructor.
+BUS = TraceBus()

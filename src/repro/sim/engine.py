@@ -11,6 +11,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from repro.obs.tracebus import BUS
+
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule_at`.
@@ -19,7 +21,7 @@ class EventHandle:
     cancelled events stay in the heap but are skipped when popped).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -27,12 +29,13 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "fired" if self.fired else "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self.time:.3f}us, seq={self.seq}, {state})"
 
 
@@ -44,6 +47,7 @@ class Engine:
         self._heap: list[EventHandle] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -56,8 +60,13 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1)).
+
+        Maintained live by ``schedule_at``/``cancel``/``step`` — it is
+        polled in loops by the background-GC and sampler re-arm checks,
+        so it must not scan the heap.
+        """
+        return self._pending
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``.
@@ -69,6 +78,7 @@ class Engine:
             raise ValueError(f"cannot schedule at {time} before now ({self._now})")
         handle = EventHandle(time, next(self._seq), callback, args)
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
 
     def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -78,8 +88,12 @@ class Engine:
         return self.schedule_at(self._now + delay, callback, *args)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a pending event (no-op if it already fired)."""
+        """Cancel a pending event (no-op if it already fired or was
+        already cancelled — the pending count must not decrement twice)."""
+        if handle.cancelled or handle.fired:
+            return
         handle.cancelled = True
+        self._pending -= 1
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
@@ -87,8 +101,21 @@ class Engine:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
+            handle.fired = True
+            self._pending -= 1
             self._now = handle.time
             self._events_processed += 1
+            if BUS.enabled:
+                callback = handle.callback
+                BUS.emit(
+                    "engine",
+                    getattr(callback, "__qualname__", None) or repr(callback),
+                    handle.time,
+                    0.0,
+                    None,
+                    None,
+                    "i",
+                )
             handle.callback(*handle.args)
             return True
         return False

@@ -48,7 +48,7 @@ def test_tracegen_and_replay(tmp_path, capsys):
     # replay the saved trace through simulate
     code = main([
         "simulate", "--ftl", "fast", "--capacity-mb", "32",
-        "--trace", trace_file, "--precondition", "0.5",
+        "--replay", trace_file, "--precondition", "0.5",
     ])
     assert code == 0
     assert "fast on" in capsys.readouterr().out

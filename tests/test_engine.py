@@ -120,3 +120,48 @@ def test_pending_counts_only_live_events():
     engine.schedule_at(2.0, lambda: None)
     engine.cancel(h1)
     assert engine.pending == 1
+
+
+def test_double_cancel_decrements_pending_once():
+    engine = Engine()
+    handle = engine.schedule_at(1.0, lambda: None)
+    engine.schedule_at(2.0, lambda: None)
+    engine.cancel(handle)
+    engine.cancel(handle)
+    assert engine.pending == 1
+
+
+def test_cancel_after_fire_keeps_pending_consistent():
+    engine = Engine()
+    handle = engine.schedule_at(1.0, lambda: None)
+    engine.schedule_at(2.0, lambda: None)
+    engine.step()  # fires handle
+    engine.cancel(handle)  # no-op: already fired
+    assert engine.pending == 1
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_pending_tracks_schedule_step_and_run():
+    engine = Engine()
+    assert engine.pending == 0
+    handles = [engine.schedule_at(float(t), lambda: None) for t in range(1, 5)]
+    assert engine.pending == 4
+    engine.step()
+    assert engine.pending == 3
+    engine.cancel(handles[2])
+    assert engine.pending == 2
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_pending_counts_events_scheduled_by_callbacks():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(1.0, lambda: engine.schedule_after(1.0, seen.append, "x"))
+    assert engine.pending == 1
+    engine.step()
+    assert engine.pending == 1  # the chained event replaced the fired one
+    engine.run()
+    assert seen == ["x"]
+    assert engine.pending == 0

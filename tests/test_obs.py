@@ -1,0 +1,270 @@
+"""Observability layer units: TraceBus, MetricsRegistry, Chrome export,
+FlashCounters dict/reset, and the snapshot sampler."""
+
+import io
+import json
+
+import pytest
+
+from repro.flash.counters import FlashCounters
+from repro.obs.chrome_trace import (
+    PID_CHANNELS,
+    PID_PLANES,
+    ChromeTraceWriter,
+)
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracebus import BUS, TraceBus, TraceEvent
+
+
+@pytest.fixture(autouse=True)
+def clean_global_bus():
+    """The global bus must never leak subscribers between tests."""
+    yield
+    BUS.clear()
+
+
+# ---- TraceBus --------------------------------------------------------------
+
+
+def test_bus_disabled_by_default():
+    bus = TraceBus()
+    assert bus.enabled is False
+    bus.emit("c", "n", 0.0)  # no subscribers: emit is a harmless no-op
+
+
+def test_subscribe_enables_unsubscribe_disables():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe(seen.append)
+    assert bus.enabled is True
+    bus.unsubscribe(seen.append)
+    assert bus.enabled is False
+    assert bus.subscriber_count == 0
+
+
+def test_enabled_stays_on_until_last_subscriber_leaves():
+    bus = TraceBus()
+    a, b = [], []
+    bus.subscribe(a.append)
+    bus.subscribe(b.append)
+    bus.unsubscribe(a.append)
+    assert bus.enabled is True  # b is still listening
+    bus.unsubscribe(b.append)
+    assert bus.enabled is False
+
+
+def test_emit_delivers_in_subscription_order():
+    bus = TraceBus()
+    order = []
+    bus.subscribe(lambda e: order.append("first"))
+    bus.subscribe(lambda e: order.append("second"))
+    bus.emit("cat", "name", 1.0, 2.0, {"k": "v"}, "plane:0")
+    assert order == ["first", "second"]
+
+
+def test_event_fields():
+    bus = TraceBus()
+    events = []
+    bus.subscribe(events.append)
+    bus.emit("flash", "read", 10.0, 25.0, {"plane": 3}, "plane:3")
+    (event,) = events
+    assert isinstance(event, TraceEvent)
+    assert event.category == "flash"
+    assert event.name == "read"
+    assert event.ts_us == 10.0
+    assert event.duration_us == 25.0
+    assert event.args == {"plane": 3}
+    assert event.track == "plane:3"
+    assert event.ph == "X"
+
+
+def test_manual_disable_pauses_instrumentation_sites():
+    """Setting enabled=False is the documented pause switch: guarded
+    emit sites skip, subscribers stay registered."""
+    bus = TraceBus()
+    events = []
+    bus.subscribe(events.append)
+    bus.enabled = False
+    if bus.enabled:  # what every instrumentation site does
+        bus.emit("c", "n", 0.0)
+    assert events == []
+    assert bus.subscriber_count == 1
+
+
+def test_capture_context_manager():
+    bus = TraceBus()
+    with bus.capture() as events:
+        bus.emit("c", "n", 5.0)
+    assert len(events) == 1
+    assert bus.enabled is False
+    bus.emit("c", "n", 6.0)
+    assert len(events) == 1  # detached after the with block
+
+
+def test_counter_helper_emits_phase_c():
+    bus = TraceBus()
+    with bus.capture() as events:
+        bus.counter("queue_depth", 7.0, {"outstanding": 3})
+    assert events[0].ph == "C"
+    assert events[0].args == {"outstanding": 3}
+
+
+# ---- MetricsRegistry -------------------------------------------------------
+
+
+def test_counter_and_gauge():
+    reg = MetricsRegistry()
+    reg.counter("ops").inc()
+    reg.counter("ops").inc(4)
+    reg.gauge("depth").set(7)
+    reg.gauge("depth").dec(2)
+    snap = reg.snapshot()
+    assert snap["ops"] == 5
+    assert snap["depth"] == 5
+    with pytest.raises(ValueError):
+        reg.counter("ops").inc(-1)
+
+
+def test_instrument_type_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_histogram_buckets():
+    h = Histogram("lat", (10, 100, 1000))
+    for v in (5, 10, 11, 500, 5000):
+        h.observe(v)
+    assert h.count == 5
+    assert h.counts == [2, 1, 1, 1]  # <=10, <=100, <=1000, +inf
+    assert h.total == 5526
+    assert h.quantile(0.2) == 10
+    assert h.quantile(1.0) == float("inf")
+
+
+def test_histogram_validation_and_registry_access():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("h")  # first request must supply buckets
+    with pytest.raises(ValueError):
+        Histogram("h", ())
+    with pytest.raises(ValueError):
+        Histogram("h", (3, 2, 1))
+    h = reg.histogram("h", (1, 2))
+    assert reg.histogram("h") is h  # get-or-create afterwards
+    summary = reg.snapshot()["h"]
+    assert summary["buckets"] == [1, 2]
+    assert summary["count"] == 0
+
+
+# ---- ChromeTraceWriter -----------------------------------------------------
+
+
+def _write_events(events):
+    bus = TraceBus()
+    sink = io.StringIO()
+    writer = ChromeTraceWriter(sink, bus=bus)
+    writer.attach()
+    for event in events:
+        bus.emit(*event)
+    writer.close()
+    assert bus.enabled is False  # close() detaches
+    return json.loads(sink.getvalue())
+
+
+def test_chrome_trace_schema_and_row_mapping():
+    payload = _write_events([
+        ("flash", "read", 50.0, 25.0, {"plane": 2, "channel": 1}, "plane:2"),
+        ("flash", "xfer_out", 10.0, 5.0, {"plane": 2, "channel": 1}, "channel:1"),
+        ("counter", "queue_depth", 30.0, 0.0, {"outstanding": 4}, None, "C"),
+    ])
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    # one row per plane and per channel
+    read = next(e for e in spans if e["name"] == "read")
+    assert (read["pid"], read["tid"]) == (PID_PLANES, 2)
+    assert read["dur"] == 25.0
+    xfer = next(e for e in spans if e["name"] == "xfer_out")
+    assert (xfer["pid"], xfer["tid"]) == (PID_CHANNELS, 1)
+    counter = next(e for e in events if e["ph"] == "C")
+    assert counter["args"] == {"outstanding": 4}
+    # metadata names the rows
+    names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[(PID_PLANES, 2)] == "plane 2"
+    assert names[(PID_CHANNELS, 1)] == "channel 1"
+
+
+def test_chrome_trace_timestamps_sorted():
+    payload = _write_events([
+        ("flash", "b", 100.0, 1.0, None, "plane:0"),
+        ("flash", "a", 50.0, 1.0, None, "plane:0"),
+        ("flash", "c", 75.0, 1.0, None, "plane:1"),
+    ])
+    ts = [e["ts"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert ts == sorted(ts)
+
+
+def test_chrome_trace_extra_tracks_get_named_rows():
+    payload = _write_events([
+        ("gc", "background_pass", 0.0, 10.0, None, "background_gc"),
+    ])
+    events = payload["traceEvents"]
+    span = next(e for e in events if e["ph"] == "X")
+    label = next(
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+        and (e["pid"], e["tid"]) == (span["pid"], span["tid"])
+    )
+    assert label == "background_gc"
+
+
+def test_chrome_trace_writes_file(tmp_path):
+    bus = TraceBus()
+    path = str(tmp_path / "trace.json")
+    writer = ChromeTraceWriter(path, bus=bus)
+    with writer.recording():
+        bus.emit("flash", "read", 0.0, 1.0, {"plane": 0}, "plane:0")
+    payload = json.loads(open(path).read())
+    assert any(e.get("cat") == "flash" for e in payload["traceEvents"])
+
+
+# ---- FlashCounters.as_dict / reset ----------------------------------------
+
+
+def test_counters_as_dict_is_plain_python():
+    counters = FlashCounters(4, 2)
+    counters.reads = 3
+    counters.copybacks = 6
+    counters.interplane_copies = 2
+    counters.plane_ops[1] = 5
+    counters.channel_busy_us[0] = 12.5
+    d = counters.as_dict()
+    assert d["reads"] == 3
+    assert d["copyback_ratio"] == pytest.approx(6 / 8)
+    assert d["plane_ops"] == [0, 5, 0, 0]
+    assert all(type(x) is int for x in d["plane_ops"])
+    assert all(type(x) is float for x in d["channel_busy_us"])
+    json.dumps(d)  # fully serialisable, no numpy scalars
+
+
+def test_counters_copyback_ratio_zero_when_no_moves():
+    assert FlashCounters(2, 1).as_dict()["copyback_ratio"] == 0.0
+
+
+def test_counters_reset_in_place():
+    counters = FlashCounters(2, 2)
+    plane_ops = counters.plane_ops
+    counters.programs = 9
+    counters.plane_ops[0] = 4
+    counters.reset()
+    assert counters.programs == 0
+    assert counters.plane_ops is plane_ops  # same arrays, zeroed
+    assert counters.plane_ops.sum() == 0
+    assert counters.total_ops == 0
