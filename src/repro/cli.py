@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflows end to end::
+The subcommands cover the library's workflows end to end::
 
     repro-sim simulate  --ftl dloop --workload financial1 ...   # one run
     repro-sim simulate  --trace run.json --stats-interval-ms 50 # + observability
+    repro-sim simulate  --sanitize ...                          # + invariant checks
     repro-sim tracegen  --workload tpcc --out trace.spc ...     # save a trace
     repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
     repro-sim report    --input results.json                    # tables/charts
+    repro-sim lint      src                                     # determinism linter
 
 Install exposes it as ``repro-sim``; ``python -m repro.cli`` also works.
 """
@@ -17,16 +19,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.controller.device import SimulatedSSD
-from repro.experiments.config import ExperimentConfig, GB, KB, MB
+from repro.experiments.config import ExperimentConfig, KB, MB
 from repro.experiments.runner import run_simulation
 from repro.flash.geometry import SSDGeometry
 from repro.ftl.registry import available_ftls
-from repro.metrics.amplification import amplification
 from repro.metrics.ascii_chart import hbar_chart
 from repro.metrics.report import format_table
-from repro.metrics.sdrpp import sdrpp
-from repro.sim.request import IoOp
 from repro.traces.parser import parse_disksim, parse_spc, write_disksim, write_spc
 from repro.traces.synthetic import EXTRA_TRACE_NAMES, PAPER_TRACE_NAMES, generate, make_workload
 
@@ -98,7 +96,8 @@ def cmd_simulate(args) -> int:
         from repro.controller.device import SimulatedSSD as _SSD
 
         ssd = _SSD(config.geometry, config.timing, ftl=config.ftl,
-                   stats_interval_us=stats_interval_us, **config.build_kwargs())
+                   stats_interval_us=stats_interval_us, sanitize=args.sanitize,
+                   **config.build_kwargs())
         if config.precondition_fill:
             ssd.precondition(config.precondition_fill)
         page = config.geometry.page_size
@@ -119,11 +118,15 @@ def cmd_simulate(args) -> int:
             loop_result = driver.run()
         rows = [{"metric": k, "value": v} for k, v in loop_result.row(page).items()]
         rows.append({"metric": "duration (s)", "value": loop_result.duration_us / 1e6})
+        if ssd.sanitizer is not None:
+            report = ssd.sanitizer.finalize()
+            rows += [{"metric": f"sanitizer: {k}", "value": v} for k, v in report.items()]
         print(format_table(rows, title=f"{config.ftl} closed-loop iodepth={args.iodepth} on {trace_name}"))
         return 0
     result = run_simulation(
         trace, config, trace_name=trace_name,
         trace_path=args.trace, stats_interval_us=stats_interval_us,
+        sanitize=args.sanitize,
     )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
@@ -142,6 +145,9 @@ def cmd_simulate(args) -> int:
     run_stats = result.extras.get("run_stats")
     if run_stats:
         rows += [{"metric": f"stats: {k}", "value": v} for k, v in run_stats.items()]
+    sanitizer_report = result.extras.get("sanitizer")
+    if sanitizer_report:
+        rows += [{"metric": f"sanitizer: {k}", "value": v} for k, v in sanitizer_report.items()]
     capacity_mb = geometry.capacity_bytes / MB
     print(format_table(rows, title=f"{config.ftl} on {trace_name} ({capacity_mb:g} MB SSD)"))
     if args.trace:
@@ -219,6 +225,24 @@ def cmd_trace_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import run_lint
+
+    def codes(value: Optional[str]) -> Optional[List[str]]:
+        return [c.strip() for c in value.split(",") if c.strip()] if value else None
+
+    try:
+        result = run_lint(args.paths, select=codes(args.select), ignore=codes(args.ignore))
+    except ValueError as exc:
+        print(f"repro-sim lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return result.exit_code
+
+
 def cmd_report(args) -> int:
     from repro.experiments.results_io import load_results_json
 
@@ -269,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--config", help="load geometry/FTL settings from a JSON config file")
     sim.add_argument("--iodepth", type=int, default=0,
                      help="closed-loop mode: keep N requests outstanding and report IOPS")
+    sim.add_argument("--sanitize", action="store_true",
+                     help="run under the FTL invariant sanitizer (fails fast on "
+                          "any mapping/GC/ordering violation; see docs/static-analysis.md)")
     _add_geometry_args(sim)
     _add_workload_args(sim)
     sim.set_defaults(func=cmd_simulate)
@@ -295,6 +322,24 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="render saved results")
     rep.add_argument("--input", required=True)
     rep.set_defaults(func=cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism linter: scan python sources for DL101-DL105",
+        description="AST-based determinism linter for simulator code. "
+                    "Rules: DL101 wall-clock calls, DL102 unseeded RNG, DL103 "
+                    "set/dict-order-dependent iteration, DL104 float timestamp "
+                    "equality, DL105 mutable default arguments. Suppress a "
+                    "finding with a '# dl: disable=CODE' pragma.",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to scan (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--ignore", metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -7,7 +7,7 @@ page-addressed requests (or a whole trace), and read the metrics off.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.controller.controller import Controller, RequestStats
 from repro.flash.geometry import SSDGeometry
@@ -16,6 +16,10 @@ from repro.ftl.base import Ftl
 from repro.ftl.registry import create_ftl
 from repro.sim.engine import Engine
 from repro.sim.request import IoOp, IoRequest
+
+if TYPE_CHECKING:
+    from repro.controller.writebuffer import WriteBuffer
+    from repro.lint.sanitizer import SimSanitizer
 
 
 class SimulatedSSD:
@@ -31,6 +35,7 @@ class SimulatedSSD:
         background_gc: bool = False,
         telemetry_interval_us: Optional[float] = None,
         stats_interval_us: Optional[float] = None,
+        sanitize: bool = False,
         **ftl_kwargs,
     ):
         self.geometry = geometry if geometry is not None else SSDGeometry()
@@ -40,7 +45,7 @@ class SimulatedSSD:
             self.ftl: Ftl = ftl
         else:
             self.ftl = create_ftl(ftl, self.geometry, self.timing, **ftl_kwargs)
-        self.write_buffer = None
+        self.write_buffer: Optional["WriteBuffer"] = None
         backend = self.ftl
         if write_buffer_pages is not None:
             from repro.controller.writebuffer import WriteBuffer
@@ -69,6 +74,15 @@ class SimulatedSSD:
             self.telemetry = self._sampler.telemetry
             self.run_stats = self._sampler.stats
             self.metrics = self._sampler.registry
+        # Opt-in runtime invariant checking (repro-sim simulate --sanitize).
+        # Attached before any flash activity so the shadow NAND model in
+        # the sanitizer starts from the factory-fresh array state.
+        self.sanitizer: Optional["SimSanitizer"] = None
+        if sanitize:
+            from repro.lint.sanitizer import SimSanitizer
+
+            self.sanitizer = SimSanitizer(self.ftl)
+            self.sanitizer.attach()
 
     # ---- request construction -----------------------------------------------
 
@@ -93,7 +107,11 @@ class SimulatedSSD:
         """Submit ``requests`` and run the simulation to completion."""
         for request in requests:
             self.submit(request)
-        return self.engine.run(until=until)
+        end = self.engine.run(until=until)
+        if self.sanitizer is not None:
+            # Full coherence sweep once the event queue drains.
+            self.sanitizer.check_now()
+        return end
 
     # ---- preconditioning ------------------------------------------------------
 

@@ -10,7 +10,7 @@ the paper's stated mechanism for the downward trend.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.experiments.config import DEFAULT_SCALE, ExperimentConfig, GB, scaled_geometry
 from repro.experiments.runner import SimulationResult, run_workload

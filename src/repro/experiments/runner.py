@@ -83,20 +83,25 @@ def run_simulation(
     trace_name: str = "trace",
     trace_path: Optional[str] = None,
     stats_interval_us: Optional[float] = None,
+    sanitize: bool = False,
 ) -> SimulationResult:
     """Replay a trace through a freshly built (and preconditioned) SSD.
 
     ``trace_path`` records the measured portion of the run (after
     preconditioning) as Chrome trace-event JSON for Perfetto;
     ``stats_interval_us`` attaches the periodic snapshot sampler and
-    folds its scalar digest into ``result.extras['run_stats']``.
+    folds its scalar digest into ``result.extras['run_stats']``;
+    ``sanitize`` runs the whole simulation under the runtime invariant
+    checker (see :mod:`repro.lint.sanitizer`) and folds its counter
+    report into ``result.extras['sanitizer']``.
     """
-    wall_start = time.perf_counter()
+    wall_start = time.perf_counter()  # dl: disable=DL101 — host wall-time metric, not sim state
     ssd = SimulatedSSD(
         config.geometry,
         config.timing,
         ftl=config.ftl,
         stats_interval_us=stats_interval_us,
+        sanitize=sanitize,
         **config.build_kwargs(),
     )
     if config.precondition_fill:
@@ -132,6 +137,8 @@ def run_simulation(
     extras: dict = {}
     if ssd.run_stats is not None:
         extras["run_stats"] = ssd.run_stats.summary()
+    if ssd.sanitizer is not None:
+        extras["sanitizer"] = ssd.sanitizer.finalize()
 
     return SimulationResult(
         extras=extras,
@@ -161,7 +168,7 @@ def run_simulation(
         cmt_hit_ratio=cmt_hit,
         wear=wear_stats(ftl.array),
         sim_duration_s=end / 1e6,
-        wall_time_s=time.perf_counter() - wall_start,
+        wall_time_s=time.perf_counter() - wall_start,  # dl: disable=DL101 — host wall-time metric
     )
 
 

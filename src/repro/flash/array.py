@@ -9,6 +9,15 @@ The array enforces NAND physics on state transitions:
 * erase counts accumulate per block (wear).
 
 Timing lives in :mod:`repro.flash.timekeeper`; this module is pure state.
+
+When the trace bus is enabled, every state transition additionally
+publishes an ``array``-category instant event (``program`` /
+``invalidate`` / ``skip`` / ``erase`` / ``alloc_block`` /
+``release_block`` / ``bulk_fill`` / ``mark_bad``) carrying the PPN or
+block id.  These events are *timeless* (the array holds no clock, so
+``ts_us`` is 0) and exist for state validators — the runtime sanitizer
+(:mod:`repro.lint.sanitizer`) rebuilds an independent shadow NAND model
+from them; the Chrome-trace exporter filters them out.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import numpy as np
 
 from repro.flash.address import OWNER_NONE, AddressCodec, PageState
 from repro.flash.geometry import SSDGeometry
+from repro.obs.tracebus import BUS
 
 
 class FlashStateError(RuntimeError):
@@ -71,6 +81,8 @@ class FlashArray:
             raise FlashStateError(f"plane {plane} has no free blocks")
         block = pool.popleft()
         self._block_is_free[block] = False
+        if BUS.enabled:
+            BUS.emit("array", "alloc_block", 0.0, 0.0, {"block": block, "plane": plane}, None, "i")
         return block
 
     def release_block(self, block: int) -> None:
@@ -86,10 +98,16 @@ class FlashArray:
             raise FlashStateError(f"block {block} must be erased before release")
         if self.retirement_policy is not None and self.retirement_policy(block):
             self._block_is_bad[block] = True
+            if BUS.enabled:
+                BUS.emit("array", "release_block", 0.0, 0.0,
+                         {"block": block, "retired": True}, None, "i")
             return
         plane = self.codec.block_to_plane(block)
         self._free_pools[plane].append(block)
         self._block_is_free[block] = True
+        if BUS.enabled:
+            BUS.emit("array", "release_block", 0.0, 0.0,
+                     {"block": block, "retired": False}, None, "i")
 
     def mark_bad(self, block: int) -> None:
         """Retire a block from the free pool (factory bad block)."""
@@ -99,6 +117,8 @@ class FlashArray:
         self._free_pools[plane].remove(block)
         self._block_is_free[block] = False
         self._block_is_bad[block] = True
+        if BUS.enabled:
+            BUS.emit("array", "mark_bad", 0.0, 0.0, {"block": block}, None, "i")
 
     def is_block_bad(self, block: int) -> bool:
         return bool(self._block_is_bad[block])
@@ -139,6 +159,8 @@ class FlashArray:
         self.block_valid[block] += 1
         self.write_stamp += 1
         self.block_write_stamp[block] = self.write_stamp
+        if BUS.enabled:
+            BUS.emit("array", "program", 0.0, 0.0, {"ppn": ppn, "owner": owner}, None, "i")
 
     def invalidate(self, ppn: int) -> None:
         """Mark a VALID page stale (out-of-place update or relocation)."""
@@ -149,6 +171,8 @@ class FlashArray:
         self.page_owner[ppn] = OWNER_NONE
         self.block_valid[block] -= 1
         self.block_invalid[block] += 1
+        if BUS.enabled:
+            BUS.emit("array", "invalidate", 0.0, 0.0, {"ppn": ppn}, None, "i")
 
     def skip_page(self, ppn: int) -> None:
         """Deliberately waste a FREE page (same-parity policy, Fig. 5b).
@@ -165,6 +189,8 @@ class FlashArray:
         self.block_write_ptr[block] = offset + 1
         self.page_state[ppn] = PageState.INVALID
         self.block_invalid[block] += 1
+        if BUS.enabled:
+            BUS.emit("array", "skip", 0.0, 0.0, {"ppn": ppn}, None, "i")
 
     def erase(self, block: int) -> None:
         """Erase a block that carries no valid data."""
@@ -178,6 +204,8 @@ class FlashArray:
         self.block_invalid[block] = 0
         self.block_write_ptr[block] = 0
         self.block_erase_count[block] += 1
+        if BUS.enabled:
+            BUS.emit("array", "erase", 0.0, 0.0, {"block": block}, None, "i")
 
     def bulk_fill_block(self, block: int, owners: np.ndarray) -> np.ndarray:
         """Program ``owners`` into a freshly allocated block's first pages.
@@ -199,6 +227,8 @@ class FlashArray:
         self.block_write_ptr[block] = n
         self.write_stamp += n
         self.block_write_stamp[block] = self.write_stamp
+        if BUS.enabled:
+            BUS.emit("array", "bulk_fill", 0.0, 0.0, {"block": block, "count": n}, None, "i")
         return np.arange(first, first + n, dtype=np.int64)
 
     # ---- queries ------------------------------------------------------------

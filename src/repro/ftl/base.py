@@ -206,7 +206,9 @@ class Ftl(abc.ABC):
             if plane in queue and self.array.free_block_count(plane) < self.gc_threshold:
                 p = plane
             else:
-                p = min(queue, key=self.array.free_block_count)
+                # Total ordering: ties on free count break by plane id,
+                # never by set iteration order (determinism lint DL103).
+                p = min(queue, key=lambda q: (self.array.free_block_count(q), q))
             queue.discard(p)
             if self.array.free_block_count(p) >= self.gc_threshold:
                 continue

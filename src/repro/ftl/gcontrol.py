@@ -8,7 +8,7 @@ is actively filling.  Blocks with zero invalid pages are never victims
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np

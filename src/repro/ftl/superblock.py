@@ -22,7 +22,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.flash.array import FlashStateError
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import TimingParams
 from repro.ftl.base import Ftl, OutOfSpaceError

@@ -1,0 +1,31 @@
+"""Static determinism linter + runtime simulation sanitizer.
+
+Two complementary correctness nets for the simulator (see
+``docs/static-analysis.md``):
+
+* :mod:`repro.lint.rules` / :mod:`repro.lint.runner` — the AST-based
+  determinism linter behind ``repro-sim lint`` (codes ``DL101``—
+  ``DL105``, ``# dl: disable=CODE`` pragmas, text/JSON output);
+* :mod:`repro.lint.sanitizer` — :class:`SimSanitizer`, an opt-in
+  TraceBus subscriber validating FTL invariants (on-plane copy-back,
+  mapping coherence, free-block accounting, NAND state legality, event
+  ordering) as a simulation runs: ``SimulatedSSD(sanitize=True)`` or
+  ``repro-sim simulate --sanitize``.
+"""
+
+from repro.lint.rules import ALL_CODES, ALL_RULES, FileContext, Finding, Rule
+from repro.lint.runner import LintResult, lint_file, run_lint
+from repro.lint.sanitizer import SanitizerError, SimSanitizer
+
+__all__ = [
+    "ALL_CODES",
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "LintResult",
+    "lint_file",
+    "run_lint",
+    "SanitizerError",
+    "SimSanitizer",
+]

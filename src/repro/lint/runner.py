@@ -1,0 +1,202 @@
+"""Lint driver: file discovery, pragma suppression, reporting.
+
+This is the engine behind ``repro-sim lint [paths]``:
+
+* walks ``.py`` files under the given paths (skipping ``__pycache__``
+  and hidden directories),
+* parses each once and runs every registered rule over the AST,
+* drops findings suppressed by ``# dl: disable`` pragmas,
+* renders the survivors as text (``path:line:col: CODE message``) or a
+  single JSON object (``--format json``).
+
+Pragma syntax (comment anywhere on the offending line)::
+
+    now = time.time()          # dl: disable=DL101
+    risky(); other()           # dl: disable=DL101,DL103
+    anything_goes_here()       # dl: disable
+
+and, once per file (any line), file-wide suppression::
+
+    # dl: disable-file=DL104
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.rules import ALL_CODES, ALL_RULES, FileContext, Finding, Rule
+
+_PRAGMA_RE = re.compile(r"#\s*dl:\s*disable(?P<scope>-file)?(?:=(?P<codes>[A-Z0-9,\s]+))?")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.errors else 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"error: {e}" for e in self.errors)
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"repro-sim lint: {len(self.findings)} {noun} "
+            f"({self.suppressed} suppressed) in {self.files_scanned} files"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "files_scanned": self.files_scanned,
+                "suppressed": self.suppressed,
+                "errors": self.errors,
+                "findings": [f.as_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def _discover(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                rel_parts = candidate.relative_to(path).parts
+                if set(rel_parts) & _SKIP_DIRS or any(p.startswith(".") for p in rel_parts):
+                    continue
+                files.append(candidate)
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+    return files
+
+
+def _module_name(path: Path) -> Optional[str]:
+    """Dotted module for files under a ``repro`` package root, else None."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    idx = parts.index("repro")
+    module_parts = parts[idx:]
+    module_parts[-1] = module_parts[-1][: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]], bool]:
+    """Extract suppression pragmas from source comments.
+
+    Returns ``(line_pragmas, file_codes, file_all)`` where
+    ``line_pragmas`` maps line number -> set of codes (None = all codes)
+    and ``file_codes``/``file_all`` carry ``disable-file`` pragmas.
+    """
+    line_pragmas: Dict[int, Optional[Set[str]]] = {}
+    file_codes: Set[str] = set()
+    file_all = False
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "dl:" not in line:
+            continue
+        match = _PRAGMA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        parsed = {c.strip() for c in codes.split(",") if c.strip()} if codes else None
+        if match.group("scope"):
+            if parsed is None:
+                file_all = True
+            else:
+                file_codes |= parsed
+        else:
+            if parsed is None:
+                line_pragmas[lineno] = None
+            elif lineno in line_pragmas and line_pragmas[lineno] is not None:
+                line_pragmas[lineno].update(parsed)  # type: ignore[union-attr]
+            else:
+                line_pragmas[lineno] = parsed
+    return line_pragmas, file_codes or None, file_all
+
+
+def _suppressed(
+    finding: Finding,
+    line_pragmas: Dict[int, Optional[Set[str]]],
+    file_codes: Optional[Set[str]],
+    file_all: bool,
+) -> bool:
+    if file_all:
+        return True
+    if file_codes and finding.code in file_codes:
+        return True
+    if finding.line in line_pragmas:
+        codes = line_pragmas[finding.line]
+        return codes is None or finding.code in codes
+    return False
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    result: LintResult,
+) -> None:
+    """Lint one file, appending findings/suppressions to ``result``."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        result.errors.append(f"{path}: {exc}")
+        return
+    result.files_scanned += 1
+    ctx = FileContext(str(path), tree, source, _module_name(path))
+    line_pragmas, file_codes, file_all = _parse_pragmas(source)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if _suppressed(finding, line_pragmas, file_codes, file_all):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) with the rule catalogue.
+
+    ``select`` restricts to the given codes; ``ignore`` drops codes.
+    Unknown codes in either raise ``ValueError`` (catching typos beats
+    silently linting with the wrong rule set).
+    """
+    chosen = set(select) if select else set(ALL_CODES)
+    dropped = set(ignore) if ignore else set()
+    unknown = (chosen | dropped) - set(ALL_CODES)
+    if unknown:
+        raise ValueError(f"unknown rule codes: {sorted(unknown)}; known: {list(ALL_CODES)}")
+    rules = [r for r in ALL_RULES if r.code in chosen - dropped]
+    result = LintResult()
+    for path in _discover(paths):
+        lint_file(path, rules, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result

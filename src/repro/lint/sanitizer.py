@@ -1,0 +1,445 @@
+"""SimSanitizer: runtime invariant checks over the TraceBus event stream.
+
+The static linter (:mod:`repro.lint.rules`) forbids nondeterminism at
+the source level; this module validates the *dynamic* FTL invariants the
+paper's claims rest on, as the simulation runs.  The sanitizer
+subscribes to the PR-1 :data:`~repro.obs.tracebus.BUS` and checks:
+
+* **copyback-plane / copyback-parity** — every copy-back GC migration
+  stays on one plane and honours the DLOOP same-parity rule
+  (Section III.A) — the headline invariant of the paper;
+* **program-order / program-free-block / reprogram** — a shadow NAND
+  model (rebuilt independently from ``array``-category events) enforces
+  ascending in-block program order, no programs into pooled blocks and
+  no program of a page that was not erased since its last program;
+* **erase-valid / double-erase / release-unerased / alloc-in-use** —
+  block lifecycle legality against the same shadow model;
+* **mapping-coherence** — after every GC pass (and at
+  :meth:`finalize`), every mapped LPN points at a VALID page whose
+  owner is that LPN, every VALID data page is reachable, and (when the
+  FTL has a GTD) every materialised translation page round-trips;
+* **free-accounting** — per-plane free-pool sizes match the array's
+  free-block mask, and no active write block sits in a pool;
+* **event-order** — engine dispatch timestamps never run backwards and
+  same-timestamp events fire in strictly increasing scheduling order.
+
+Violations raise :class:`SanitizerError` immediately (fail fast) with
+the rule name and a diagnostic snapshot of the relevant state.  The
+sanitizer is a pure observer: a sanitized run is bit-identical to an
+unsanitized one (enforced by ``tests/test_sanitizer.py``).
+
+Usage::
+
+    ssd = SimulatedSSD(geometry, ftl="dloop", sanitize=True)
+    ssd.run(requests)
+    report = ssd.sanitizer.finalize()   # full sweep + stats
+
+or from the CLI: ``repro-sim simulate --sanitize ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.address import PageState, decode_translation_owner
+from repro.obs.tracebus import BUS, TraceBus, TraceEvent
+
+#: Shadow page states (mirrors :class:`repro.flash.address.PageState`).
+_FREE, _VALID, _INVALID = (
+    int(PageState.FREE),
+    int(PageState.VALID),
+    int(PageState.INVALID),
+)
+
+
+class SanitizerError(AssertionError):
+    """An FTL invariant was violated; ``rule`` names which one."""
+
+    def __init__(self, rule: str, message: str, snapshot: Optional[dict] = None):
+        self.rule = rule
+        self.snapshot = snapshot or {}
+        detail = f" | snapshot: {self.snapshot}" if self.snapshot else ""
+        super().__init__(f"[{rule}] {message}{detail}")
+
+
+class SimSanitizer:
+    """Validates FTL invariants as trace events flow.
+
+    Construct with the FTL under test, :meth:`attach` to the bus (done
+    automatically when constructed via ``SimulatedSSD(sanitize=True)``),
+    and :meth:`finalize` after the run for the closing sweep + report.
+    """
+
+    def __init__(self, ftl, *, bus: Optional[TraceBus] = None):
+        self.ftl = ftl
+        self.bus = bus if bus is not None else BUS
+        geometry = ftl.geometry
+        self._pages_per_block = geometry.pages_per_block
+        self._blocks_per_plane = geometry.physical_blocks_per_plane
+        self._pages_per_plane = self._pages_per_block * self._blocks_per_plane
+        n_blocks = geometry.num_physical_blocks
+        # Shadow NAND model, seeded from the array's state *now* (the
+        # device may already be preconditioned) and advanced only by
+        # bus events afterwards — an independent re-derivation, so a
+        # bookkeeping bug in FlashArray itself is caught too.
+        array = ftl.array
+        self._shadow_state = array.page_state.copy()
+        self._shadow_ptr = array.block_write_ptr.copy()
+        self._shadow_free = array.block_free_mask.copy()
+        self._shadow_erased = np.zeros(n_blocks, dtype=bool)
+        # Event-order tracking.
+        self._last_engine_ts = -np.inf
+        self._last_engine_seq = -1
+        # Statistics for the report.
+        self.events_checked = 0
+        self.migrations_checked = 0
+        self.sweeps = 0
+        self.violations = 0
+        self._attached = False
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def attach(self) -> "SimSanitizer":
+        if not self._attached:
+            self.bus.subscribe(self)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.bus.unsubscribe(self)
+            self._attached = False
+
+    def finalize(self) -> dict:
+        """Run the closing coherence sweep, detach, and report."""
+        self.check_now()
+        self.detach()
+        return self.report()
+
+    def report(self) -> dict:
+        return {
+            "events_checked": self.events_checked,
+            "migrations_checked": self.migrations_checked,
+            "sweeps": self.sweeps,
+            "violations": self.violations,
+        }
+
+    # ---- event dispatch --------------------------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events_checked += 1
+        category = event.category
+        if category == "array":
+            self._on_array(event)
+        elif category == "gc":
+            if event.name == "migrate":
+                self._on_migrate(event)
+            elif event.name == "gc_pass":
+                self.check_now()
+        elif category == "engine":
+            self._on_engine(event)
+
+    def _fail(self, rule: str, message: str, snapshot: Optional[dict] = None) -> None:
+        self.violations += 1
+        raise SanitizerError(rule, message, snapshot)
+
+    # ---- per-event checks ------------------------------------------------
+
+    def _plane_of_ppn(self, ppn: int) -> int:
+        return ppn // self._pages_per_plane
+
+    def _on_migrate(self, event: TraceEvent) -> None:
+        """Copy-back migrations must stay on-plane with matching parity."""
+        args = event.args or {}
+        if args.get("mode") != "copyback":
+            return
+        self.migrations_checked += 1
+        src = int(args["from_ppn"])
+        dst = int(args["to_ppn"])
+        src_plane = self._plane_of_ppn(src)
+        dst_plane = self._plane_of_ppn(dst)
+        if src_plane != dst_plane:
+            self._fail(
+                "copyback-plane",
+                f"copy-back moved ppn {src} (plane {src_plane}) to ppn {dst} "
+                f"(plane {dst_plane}); DLOOP GC must stay intra-plane",
+                {"event": args, "ts_us": event.ts_us},
+            )
+        if (src % self._pages_per_block) & 1 != (dst % self._pages_per_block) & 1:
+            self._fail(
+                "copyback-parity",
+                f"copy-back parity mismatch: ppn {src} (offset "
+                f"{src % self._pages_per_block}) -> ppn {dst} (offset "
+                f"{dst % self._pages_per_block}); source and destination page "
+                "offsets must share parity (Fig. 5)",
+                {"event": args, "ts_us": event.ts_us},
+            )
+
+    def _on_engine(self, event: TraceEvent) -> None:
+        """Engine dispatch order must be (time, seq)-monotonic."""
+        ts = event.ts_us
+        seq = (event.args or {}).get("seq")
+        if ts < self._last_engine_ts:
+            self._fail(
+                "event-order",
+                f"engine time ran backwards: {ts} after {self._last_engine_ts}",
+                {"event": event.name},
+            )
+        if seq is not None:
+            # Exact equality is intended: "same timestamp" is the case
+            # under test, not a tolerance comparison.
+            if ts == self._last_engine_ts and seq <= self._last_engine_seq:  # dl: disable=DL104
+                self._fail(
+                    "event-order",
+                    f"same-timestamp events fired out of scheduling order at "
+                    f"t={ts}: seq {seq} after {self._last_engine_seq}",
+                    {"event": event.name},
+                )
+            self._last_engine_seq = int(seq)
+        self._last_engine_ts = ts
+
+    def _on_array(self, event: TraceEvent) -> None:
+        """Advance the shadow NAND model and police block lifecycles."""
+        args = event.args or {}
+        name = event.name
+        if name == "program":
+            self._shadow_program(int(args["ppn"]))
+        elif name == "skip":
+            self._shadow_skip(int(args["ppn"]))
+        elif name == "invalidate":
+            self._shadow_invalidate(int(args["ppn"]))
+        elif name == "erase":
+            self._shadow_erase(int(args["block"]))
+        elif name == "alloc_block":
+            self._shadow_alloc(int(args["block"]))
+        elif name == "release_block":
+            self._shadow_release(int(args["block"]), bool(args.get("retired", False)))
+        elif name == "bulk_fill":
+            self._shadow_bulk_fill(int(args["block"]), int(args["count"]))
+        elif name == "mark_bad":
+            self._shadow_free[int(args["block"])] = False
+
+    def _shadow_program(self, ppn: int) -> None:
+        block, offset = divmod(ppn, self._pages_per_block)
+        if self._shadow_free[block]:
+            self._fail(
+                "program-free-block",
+                f"program of ppn {ppn} into block {block} which is in the free pool",
+                {"block": int(block)},
+            )
+        if offset < self._shadow_ptr[block]:
+            self._fail(
+                "program-order",
+                f"out-of-order program: offset {offset} of block {block} behind "
+                f"write pointer {int(self._shadow_ptr[block])}",
+                {"block": int(block)},
+            )
+        if self._shadow_state[ppn] != _FREE:
+            self._fail(
+                "reprogram",
+                f"program of ppn {ppn} which was not erased since its last "
+                f"program (state {int(self._shadow_state[ppn])})",
+                {"block": int(block)},
+            )
+        self._shadow_state[ppn] = _VALID
+        self._shadow_ptr[block] = offset + 1
+        self._shadow_erased[block] = False
+
+    def _shadow_skip(self, ppn: int) -> None:
+        block, offset = divmod(ppn, self._pages_per_block)
+        if self._shadow_state[ppn] != _FREE or offset < self._shadow_ptr[block]:
+            self._fail(
+                "program-order",
+                f"skip of non-free or behind-pointer ppn {ppn} in block {block}",
+                {"block": int(block)},
+            )
+        self._shadow_state[ppn] = _INVALID
+        self._shadow_ptr[block] = offset + 1
+        self._shadow_erased[block] = False
+
+    def _shadow_invalidate(self, ppn: int) -> None:
+        if self._shadow_state[ppn] != _VALID:
+            self._fail(
+                "invalidate-state",
+                f"invalidate of ppn {ppn} in state {int(self._shadow_state[ppn])} "
+                "(must be VALID)",
+                {"block": ppn // self._pages_per_block},
+            )
+        self._shadow_state[ppn] = _INVALID
+
+    def _shadow_erase(self, block: int) -> None:
+        first = block * self._pages_per_block
+        states = self._shadow_state[first : first + self._pages_per_block]
+        n_valid = int(np.count_nonzero(states == _VALID))
+        if self._shadow_free[block]:
+            self._fail(
+                "double-erase",
+                f"erase of block {block} which sits in the free pool",
+                {"block": block},
+            )
+        if self._shadow_erased[block]:
+            self._fail(
+                "double-erase",
+                f"block {block} erased twice with no intervening program",
+                {"block": block},
+            )
+        if n_valid:
+            self._fail(
+                "erase-valid",
+                f"erase of block {block} still holding {n_valid} valid pages",
+                {"block": block, "valid": n_valid},
+            )
+        states[:] = _FREE
+        self._shadow_ptr[block] = 0
+        self._shadow_erased[block] = True
+
+    def _shadow_bulk_fill(self, block: int, count: int) -> None:
+        """Vectorised preconditioning fill (equivalent to ``count`` programs)."""
+        if self._shadow_free[block]:
+            self._fail(
+                "program-free-block",
+                f"bulk fill into block {block} which is in the free pool",
+                {"block": block},
+            )
+        if self._shadow_ptr[block] != 0:
+            self._fail(
+                "program-order",
+                f"bulk fill into partially written block {block} (write pointer "
+                f"at {int(self._shadow_ptr[block])})",
+                {"block": block},
+            )
+        first = block * self._pages_per_block
+        self._shadow_state[first : first + count] = _VALID
+        self._shadow_ptr[block] = count
+        self._shadow_erased[block] = False
+
+    def _shadow_alloc(self, block: int) -> None:
+        if not self._shadow_free[block]:
+            self._fail(
+                "alloc-in-use",
+                f"allocation of block {block} which is not in the free pool",
+                {"block": block},
+            )
+        self._shadow_free[block] = False
+
+    def _shadow_release(self, block: int, retired: bool) -> None:
+        if self._shadow_ptr[block] != 0:
+            self._fail(
+                "release-unerased",
+                f"release of block {block} with write pointer at "
+                f"{int(self._shadow_ptr[block])} (must be erased first)",
+                {"block": block},
+            )
+        if not retired:
+            self._shadow_free[block] = True
+
+    # ---- coherence sweeps ------------------------------------------------
+
+    def check_now(self) -> None:
+        """Full mapping + accounting sweep against live FTL state.
+
+        Runs after every GC pass and at :meth:`finalize`; vectorised so
+        the cost stays proportional to device size, not run length.
+        """
+        self.sweeps += 1
+        self._check_mapping_coherence()
+        self._check_free_accounting()
+
+    def _check_mapping_coherence(self) -> None:
+        ftl = self.ftl
+        array = ftl.array
+        page_table = ftl.page_table
+        mapped = np.flatnonzero(page_table != -1)
+        if len(mapped):
+            ppns = page_table[mapped]
+            states = array.page_state[ppns]
+            bad = mapped[states != PageState.VALID]
+            if len(bad):
+                lpn = int(bad[0])
+                self._fail(
+                    "mapping-coherence",
+                    f"lpn {lpn} maps to ppn {int(page_table[lpn])} whose state is "
+                    f"{PageState(array.page_state[page_table[lpn]]).name}, not VALID "
+                    f"({len(bad)} such entries)",
+                    self._mapping_snapshot(lpn),
+                )
+            owners = array.page_owner[ppns]
+            bad = mapped[owners != mapped]
+            if len(bad):
+                lpn = int(bad[0])
+                self._fail(
+                    "mapping-coherence",
+                    f"reverse map broken: ppn {int(page_table[lpn])} is owned by "
+                    f"{int(array.page_owner[page_table[lpn]])}, not lpn {lpn} "
+                    f"({len(bad)} such entries)",
+                    self._mapping_snapshot(lpn),
+                )
+        # Reverse direction: every VALID data page must be reachable.
+        valid_ppns = np.flatnonzero(array.page_state == PageState.VALID)
+        owners = array.page_owner[valid_ppns]
+        data_mask = owners >= 0
+        back = page_table[owners[data_mask]]
+        stray = valid_ppns[data_mask][back != valid_ppns[data_mask]]
+        if len(stray):
+            ppn = int(stray[0])
+            self._fail(
+                "mapping-coherence",
+                f"valid data page {ppn} (owner lpn {int(array.page_owner[ppn])}) "
+                f"is not referenced by the page table ({len(stray)} such pages)",
+                {"ppn": ppn},
+            )
+        # Translation pages round-trip through the GTD, when there is one.
+        gtd = getattr(ftl, "gtd", None)
+        if gtd is not None:
+            t_ppns = valid_ppns[~data_mask]
+            t_owners = owners[~data_mask]
+            for ppn, owner in zip(t_ppns, t_owners):
+                tvpn = decode_translation_owner(int(owner))
+                if gtd.lookup(tvpn) != int(ppn):
+                    self._fail(
+                        "mapping-coherence",
+                        f"GTD stale: tvpn {tvpn} -> {gtd.lookup(tvpn)} but the "
+                        f"valid translation page lives at ppn {int(ppn)}",
+                        {"tvpn": tvpn},
+                    )
+
+    def _check_free_accounting(self) -> None:
+        ftl = self.ftl
+        array = ftl.array
+        geometry = ftl.geometry
+        mask = array.block_free_mask
+        for plane in range(geometry.num_planes):
+            blocks = array.plane_blocks(plane)
+            mask_count = int(np.count_nonzero(mask[blocks.start : blocks.stop]))
+            pool_count = array.free_block_count(plane)
+            if mask_count != pool_count:
+                self._fail(
+                    "free-accounting",
+                    f"plane {plane}: free pool holds {pool_count} blocks but the "
+                    f"free mask counts {mask_count}",
+                    {"plane": plane},
+                )
+        for allocator in getattr(ftl, "allocators", None) or ():
+            block = getattr(allocator, "current_block", None)
+            if block is not None and mask[block]:
+                self._fail(
+                    "free-accounting",
+                    f"active write block {block} of plane "
+                    f"{getattr(allocator, 'plane', '?')} sits in the free pool",
+                    {"block": int(block)},
+                )
+
+    def _mapping_snapshot(self, lpn: int) -> dict:
+        array = self.ftl.array
+        ppn = int(self.ftl.page_table[lpn])
+        return {
+            "lpn": lpn,
+            "ppn": ppn,
+            "page_state": int(array.page_state[ppn]) if 0 <= ppn < len(array.page_state) else None,
+            "page_owner": int(array.page_owner[ppn]) if 0 <= ppn < len(array.page_owner) else None,
+            "free_blocks": [
+                array.free_block_count(p) for p in range(self.ftl.geometry.num_planes)
+            ],
+        }

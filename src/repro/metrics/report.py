@@ -11,7 +11,7 @@ def format_table(rows: Sequence[Mapping], columns: Iterable[str] | None = None, 
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = list(rows[0])
     columns = list(columns)
 
     def cell(value) -> str:

@@ -152,7 +152,11 @@ class ChromeTraceWriter:
         used = set()
         # Stable sort by timestamp: Perfetto tolerates disorder but the
         # schema tests (and humans reading the JSON) want monotonic ts.
-        for event in sorted(self.events, key=lambda e: e.ts_us):
+        # ``array`` state-transition events are timeless validator food
+        # (see repro.lint.sanitizer) — meaningless on a timeline.
+        for event in sorted(
+            (e for e in self.events if e.category != "array"), key=lambda e: e.ts_us
+        ):
             pid, tid = self._resolve_track(event)
             used.add((pid, tid))
             record = {

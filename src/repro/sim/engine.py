@@ -107,12 +107,14 @@ class Engine:
             self._events_processed += 1
             if BUS.enabled:
                 callback = handle.callback
+                # ``seq`` lets observers (the sanitizer) verify that
+                # same-timestamp events fire in scheduling order.
                 BUS.emit(
                     "engine",
                     getattr(callback, "__qualname__", None) or repr(callback),
                     handle.time,
                     0.0,
-                    None,
+                    {"seq": handle.seq},
                     None,
                     "i",
                 )

@@ -8,8 +8,8 @@ descriptions of Section V.A) that the synthetic generator reproduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 KB = 1024
 

@@ -1,0 +1,38 @@
+"""Determinism-linter fixture: one deliberate violation per rule code.
+
+This file is never imported; ``tests/test_lint.py`` lints it and asserts
+the exact set of findings (text and JSON).  Line numbers matter — keep
+the violations where they are or update the expectations.
+"""
+import random
+import time
+
+
+def wall_clock_now():
+    return time.time()  # DL101: wall clock
+
+
+def unseeded_pick(items):
+    return random.choice(items)  # DL102: module-level random
+
+
+def iterate_planes(planes: set):
+    for plane in planes:  # DL103: set iteration order
+        print(plane)
+
+
+def timestamps_equal(t_us: float, deadline_us: float) -> bool:
+    return t_us == deadline_us  # DL104: float timestamp equality
+
+
+def enqueue(request, queue=[]):  # DL105: mutable default argument
+    queue.append(request)
+    return queue
+
+
+def suppressed_wall_clock():
+    return time.time()  # dl: disable=DL101
+
+
+def suppressed_everything():
+    return random.random()  # dl: disable

@@ -1,0 +1,363 @@
+"""Determinism linter: rule catalogue, pragmas, CLI, and self-cleanliness."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import ALL_CODES, run_lint
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_rules_fixture.py"
+SRC = Path(__file__).parent.parent / "src"
+
+#: (line, col, code) for every violation planted in the fixture.
+EXPECTED_FIXTURE_FINDINGS = [
+    (12, 12, "DL101"),
+    (16, 12, "DL102"),
+    (20, 18, "DL103"),
+    (25, 12, "DL104"),
+    (28, 28, "DL105"),
+]
+
+
+def lint_source(tmp_path, source, **kwargs):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the fixture exercises every rule code exactly once
+
+
+class TestFixture:
+    def test_every_code_fires_exactly_once(self):
+        result = run_lint([str(FIXTURE)])
+        got = [(f.line, f.col, f.code) for f in result.findings]
+        assert got == EXPECTED_FIXTURE_FINDINGS
+        assert sorted({f.code for f in result.findings}) == sorted(ALL_CODES)
+        assert result.exit_code == 1
+
+    def test_fixture_pragmas_are_counted(self):
+        result = run_lint([str(FIXTURE)])
+        # suppressed_wall_clock (DL101) + suppressed_everything (DL102)
+        assert result.suppressed == 2
+
+    def test_text_rendering(self):
+        result = run_lint([str(FIXTURE)])
+        text = result.render_text()
+        for line, col, code in EXPECTED_FIXTURE_FINDINGS:
+            assert f"{FIXTURE}:{line}:{col}: {code} " in text
+        assert "5 findings (2 suppressed) in 1 files" in text
+
+    def test_json_rendering(self):
+        result = run_lint([str(FIXTURE)])
+        payload = json.loads(result.render_json())
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["suppressed"] == 2
+        assert payload["errors"] == []
+        got = [(f["line"], f["col"], f["code"]) for f in payload["findings"]]
+        assert got == EXPECTED_FIXTURE_FINDINGS
+        assert all(f["message"] for f in payload["findings"])
+
+
+# ---------------------------------------------------------------------------
+# individual rules
+
+
+class TestRules:
+    def test_dl101_aliased_wall_clock(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            from time import perf_counter as tick
+
+            def f():
+                return tick()
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL101"]
+
+    def test_dl101_datetime_now(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import datetime
+
+            def f():
+                return datetime.datetime.now()
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL101"]
+
+    def test_dl102_numpy_global_rng(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(4)
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL102"]
+
+    def test_dl102_seeded_rng_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+
+            def f(seed):
+                a = random.Random(seed)
+                b = np.random.default_rng(seed)
+                return a.random() + b.random()
+            """,
+        )
+        assert result.findings == []
+
+    def test_dl102_unseeded_generators(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+
+            def f():
+                return random.Random(), np.random.default_rng()
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL102", "DL102"]
+
+    def test_dl103_comprehension_and_list(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f(mapping):
+                planes = {1, 2, 3}
+                a = [p for p in planes]
+                b = list(mapping.keys())
+                return a, b
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL103", "DL103"]
+
+    def test_dl103_sorted_iteration_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f():
+                planes = {1, 2, 3}
+                return [p for p in sorted(planes)]
+            """,
+        )
+        assert result.findings == []
+
+    def test_dl103_min_with_total_key_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f(costs):
+                queue = {1, 2, 3}
+                return min(queue, key=lambda q: (costs[q], q))
+            """,
+        )
+        assert result.findings == []
+
+    def test_dl103_min_with_partial_key_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f(costs):
+                queue = {1, 2, 3}
+                return min(queue, key=lambda q: costs[q])
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL103"]
+
+    def test_dl104_timestamp_suffix(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f(arrival_us, completion_us):
+                return arrival_us != completion_us
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL104"]
+
+    def test_dl104_plain_floats_are_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def f(ratio, target):
+                return ratio == target
+            """,
+        )
+        assert result.findings == []
+
+    def test_dl105_only_in_sim_packages(self, tmp_path):
+        # Outside the repro tree every rule applies...
+        result = lint_source(tmp_path, "def f(x=[]):\n    return x\n")
+        assert [f.code for f in result.findings] == ["DL105"]
+        # ...but inside repro it is scoped to simulator packages.
+        pkg = tmp_path / "repro" / "metrics"
+        pkg.mkdir(parents=True)
+        path = pkg / "helper.py"
+        path.write_text("def f(x=[]):\n    return x\n")
+        assert run_lint([str(path)]).findings == []
+        sim_pkg = tmp_path / "repro" / "ftl"
+        sim_pkg.mkdir(parents=True)
+        sim_path = sim_pkg / "helper.py"
+        sim_path.write_text("def f(x=[]):\n    return x\n")
+        assert [f.code for f in run_lint([str(sim_path)]).findings] == ["DL105"]
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+
+
+class TestPragmas:
+    def test_line_pragma_single_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()  # dl: disable=DL101
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_line_pragma_wrong_code_does_not_suppress(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()  # dl: disable=DL102
+            """,
+        )
+        assert [f.code for f in result.findings] == ["DL101"]
+
+    def test_line_pragma_multiple_codes(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+            import random
+
+            def f():
+                return time.time() + random.random()  # dl: disable=DL101,DL102
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_file_pragma(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            # dl: disable-file=DL101
+            import time
+
+            def f():
+                return time.time()
+
+            def g():
+                return time.time()
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_file_pragma_all(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            # dl: disable-file
+            import time
+            import random
+
+            def f():
+                return time.time() + random.random()
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed == 2
+
+
+# ---------------------------------------------------------------------------
+# driver behaviour
+
+
+class TestRunner:
+    def test_select_and_ignore(self):
+        only_101 = run_lint([str(FIXTURE)], select=["DL101"])
+        assert [f.code for f in only_101.findings] == ["DL101"]
+        without_101 = run_lint([str(FIXTURE)], ignore=["DL101"])
+        assert "DL101" not in {f.code for f in without_101.findings}
+        assert len(without_101.findings) == 4
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="DL999"):
+            run_lint([str(FIXTURE)], select=["DL999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint(["no/such/path"])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        result = run_lint([str(path)])
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert result.exit_code == 1
+
+    def test_directory_discovery_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("import time\ntime.time()\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        result = run_lint([str(tmp_path)])
+        assert result.files_scanned == 1
+        assert result.findings == []
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        result = lint_source(tmp_path, "def f(t_us):\n    return t_us + 1\n")
+        assert result.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI + self-cleanliness
+
+
+class TestCli:
+    def test_cli_text(self, capsys):
+        assert main(["lint", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        assert "DL101" in out and "5 findings" in out
+
+    def test_cli_json(self, capsys):
+        assert main(["lint", str(FIXTURE), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload["findings"]] == [c for _, _, c in EXPECTED_FIXTURE_FINDINGS]
+
+    def test_cli_select(self, capsys):
+        assert main(["lint", str(FIXTURE), "--select", "DL105"]) == 1
+        out = capsys.readouterr().out
+        assert "DL105" in out and "DL101" not in out
+
+    def test_cli_unknown_code(self, capsys):
+        assert main(["lint", str(FIXTURE), "--select", "DL999"]) == 2
+
+    def test_source_tree_is_clean(self, capsys):
+        """Acceptance: ``repro-sim lint src`` exits 0 on this tree."""
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 findings" in capsys.readouterr().out
