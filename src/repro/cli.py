@@ -5,8 +5,10 @@ The subcommands cover the library's workflows end to end::
     repro-sim simulate  --ftl dloop --workload financial1 ...   # one run
     repro-sim simulate  --trace run.json --stats-interval-ms 50 # + observability
     repro-sim simulate  --sanitize ...                          # + invariant checks
+    repro-sim simulate  --profile run.pstats ...                # + cProfile
     repro-sim tracegen  --workload tpcc --out trace.spc ...     # save a trace
     repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
+    repro-sim bench     --quick --check BENCH_seed.json         # perf suite + gate
     repro-sim report    --input results.json                    # tables/charts
     repro-sim lint      src                                     # determinism linter
 
@@ -57,6 +59,33 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--footprint-mb", type=float, default=None,
                         help="workload footprint (default: 55%% of capacity)")
     parser.add_argument("--seed", type=int, default=None)
+
+
+class _MaybeProfile:
+    """Context manager: cProfile the block and dump stats when enabled.
+
+    Backs ``repro-sim simulate --profile out.pstats``.  Read the output
+    with ``python -m pstats out.pstats`` (then ``sort cumtime`` /
+    ``stats 30``) or interactively with ``snakeviz out.pstats``.
+    """
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._profiler = None
+
+    def __enter__(self):
+        if self.path:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._profiler is not None:
+            self._profiler.disable()
+            self._profiler.dump_stats(self.path)
+            print(f"profile saved to {self.path} (read with `python -m pstats {self.path}`)")
 
 
 def cmd_simulate(args) -> int:
@@ -111,11 +140,12 @@ def cmd_simulate(args) -> int:
         if args.trace:
             from repro.obs.chrome_trace import ChromeTraceWriter
 
-            with ChromeTraceWriter(args.trace).recording():
+            with ChromeTraceWriter(args.trace).recording(), _MaybeProfile(args.profile):
                 loop_result = driver.run()
             print(f"chrome trace saved to {args.trace}")
         else:
-            loop_result = driver.run()
+            with _MaybeProfile(args.profile):
+                loop_result = driver.run()
         rows = [{"metric": k, "value": v} for k, v in loop_result.row(page).items()]
         rows.append({"metric": "duration (s)", "value": loop_result.duration_us / 1e6})
         if ssd.sanitizer is not None:
@@ -123,11 +153,12 @@ def cmd_simulate(args) -> int:
             rows += [{"metric": f"sanitizer: {k}", "value": v} for k, v in report.items()]
         print(format_table(rows, title=f"{config.ftl} closed-loop iodepth={args.iodepth} on {trace_name}"))
         return 0
-    result = run_simulation(
-        trace, config, trace_name=trace_name,
-        trace_path=args.trace, stats_interval_us=stats_interval_us,
-        sanitize=args.sanitize,
-    )
+    with _MaybeProfile(args.profile):
+        result = run_simulation(
+            trace, config, trace_name=trace_name,
+            trace_path=args.trace, stats_interval_us=stats_interval_us,
+            sanitize=args.sanitize,
+        )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
         {"metric": "read mean (ms)", "value": result.read_response_ms},
@@ -225,6 +256,48 @@ def cmd_trace_stats(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf import compare_reports, load_report, run_suite, save_report
+
+    only = args.only.split(",") if args.only else None
+    report = run_suite(
+        quick=args.quick,
+        label=args.label,
+        only=only,
+        repeat=args.repeat,
+        progress=lambda name: print(f"running {name} ...", flush=True),
+    )
+    rows = []
+    for rec in report.records:
+        rows.append({
+            "benchmark": rec.name + (" *" if rec.headline else ""),
+            "wall (s)": round(rec.wall_s, 3),
+            f"throughput": f"{rec.throughput_per_s:,.0f} {rec.unit}/s",
+            "peak RSS (MB)": round(rec.peak_rss_kb / 1024.0, 1),
+        })
+    mode = "quick" if report.quick else "full"
+    print(format_table(rows, title=f"repro-sim bench ({mode} suite, * = headline)"))
+    out = args.out or f"BENCH_{args.label}.json"
+    save_report(report, out)
+    print(f"\nreport saved to {out}")
+    if args.check:
+        baseline = load_report(args.check)
+        result = compare_reports(report, baseline)
+        print(f"\nchecking determinism fingerprints against {args.check}:")
+        for name, (cur, base) in sorted(result.throughput.items()):
+            ratio = cur / base if base else float("inf")
+            status = "MISMATCH" if name in result.mismatches else "ok"
+            print(f"  {name:<18} fingerprint {status:<9} speed {ratio:5.2f}x baseline")
+        for name in result.missing:
+            print(f"  {name:<18} MISSING from this run")
+        if not result.ok:
+            print("\nFAIL: determinism fingerprints drifted from the baseline — "
+                  "an optimisation changed simulation behaviour.")
+            return 1
+        print("\nall fingerprints match the baseline (timings are informational)")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import run_lint
 
@@ -296,6 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--sanitize", action="store_true",
                      help="run under the FTL invariant sanitizer (fails fast on "
                           "any mapping/GC/ordering violation; see docs/static-analysis.md)")
+    sim.add_argument("--profile", metavar="OUT.pstats",
+                     help="cProfile the run loop and dump stats "
+                          "(inspect with `python -m pstats` or snakeviz)")
     _add_geometry_args(sim)
     _add_workload_args(sim)
     sim.set_defaults(func=cmd_simulate)
@@ -318,6 +394,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--trace", help="analyse a trace file instead of a synthetic workload")
     _add_workload_args(stats)
     stats.set_defaults(func=cmd_trace_stats)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf microbenchmark suite (repro.perf)",
+        description="Fixed microbenchmark suite: engine churn, per-FTL "
+                    "write mixes, GC-heavy steady state, full-stack replay. "
+                    "Writes BENCH_<label>.json with wall times, throughput, "
+                    "peak RSS and determinism fingerprints. With --check, "
+                    "exits non-zero if fingerprints drift from the baseline "
+                    "(timings never gate). See docs/performance.md.",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized workloads (~8x smaller)")
+    bench.add_argument("--label", default="local",
+                       help="report label; default output is BENCH_<label>.json")
+    bench.add_argument("--out", help="explicit output path for the JSON report")
+    bench.add_argument("--only", metavar="NAMES",
+                       help="comma-separated subset of benchmarks to run")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="repetitions per benchmark (best wall time wins)")
+    bench.add_argument("--check", metavar="BASELINE.json",
+                       help="gate determinism fingerprints against a saved report")
+    bench.set_defaults(func=cmd_bench)
 
     rep = sub.add_parser("report", help="render saved results")
     rep.add_argument("--input", required=True)

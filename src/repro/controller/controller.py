@@ -71,6 +71,17 @@ class Controller:
         """Register a request for arrival at its timestamp."""
         self.engine.schedule_at(request.arrival_us, self._arrive, request)
 
+    def submit_many(self, requests) -> int:
+        """Batch-register requests (one heap repair instead of N sifts).
+
+        Returns the number of requests submitted.
+        """
+        arrive = self._arrive
+        handles = self.engine.schedule_many(
+            (request.arrival_us, arrive, request) for request in requests
+        )
+        return len(handles)
+
     def _arrive(self, request: IoRequest) -> None:
         # Outstanding counts *arrived* in-flight requests — the device
         # is idle (for background work) when this returns to zero.

@@ -105,8 +105,7 @@ class SimulatedSSD:
 
     def run(self, requests: Iterable[IoRequest] = (), until: Optional[float] = None) -> float:
         """Submit ``requests`` and run the simulation to completion."""
-        for request in requests:
-            self.submit(request)
+        self.controller.submit_many(requests)
         end = self.engine.run(until=until)
         if self.sanitizer is not None:
             # Full coherence sweep once the event queue drains.

@@ -149,7 +149,7 @@ class DloopFtl(Ftl):
             for start in range(0, full, ppb):
                 block = self.array.allocate_block(plane)
                 ppns = self.array.bulk_fill_block(block, lpns[start : start + ppb])
-                self.page_table[lpns[start : start + ppb]] = ppns
+                self.page_table_np[lpns[start : start + ppb]] = ppns
         # the striped tails go through the normal write path
         for plane in range(self.num_planes):
             lpns = np.arange(plane, count, self.num_planes, dtype=np.int64)

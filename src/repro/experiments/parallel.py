@@ -36,23 +36,53 @@ def _run_cell(cell: SweepCell) -> SimulationResult:
     return result
 
 
+def _init_worker() -> None:
+    """Reset inherited trace-bus state in a forked pool worker.
+
+    A forked child inherits the parent's process-wide ``BUS`` —
+    including any live subscribers (samplers, exporters, sanitizers
+    attached in the parent).  Those subscribers reference parent-side
+    objects and would silently record into them (and pay their
+    overhead) inside every worker, so each worker starts from a clean,
+    disabled bus.
+    """
+    from repro.obs.tracebus import BUS
+
+    BUS.clear()
+
+
+def _auto_chunksize(n_cells: int, processes: int) -> int:
+    """Heuristic map chunksize: ~4 chunks per worker.
+
+    ``chunksize=1`` (the previous default) maximises scheduling
+    overhead; one giant chunk per worker loses load balancing when cell
+    runtimes vary (GC-heavy configs run much longer than light ones).
+    Four waves per worker keeps both costs small.
+    """
+    return max(1, n_cells // (4 * processes))
+
+
 def run_cells(
     cells: Sequence[SweepCell],
     *,
     processes: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run sweep cells, in-process when ``processes`` is None/0/1.
 
     Results come back in cell order regardless of completion order.
+    ``chunksize=None`` (the default) auto-computes ~4 chunks per
+    worker; pass an explicit value to override.
     """
     cells = list(cells)
     if processes is None:
         processes = min(len(cells), os.cpu_count() or 1)
     if processes <= 1 or len(cells) <= 1:
         return [_run_cell(cell) for cell in cells]
+    if chunksize is None:
+        chunksize = _auto_chunksize(len(cells), processes)
     context = get_context("spawn" if os.name == "nt" else "fork")
-    with context.Pool(processes=processes) as pool:
+    with context.Pool(processes=processes, initializer=_init_worker) as pool:
         return pool.map(_run_cell, cells, chunksize=chunksize)
 
 

@@ -10,6 +10,18 @@ The array enforces NAND physics on state transitions:
 
 Timing lives in :mod:`repro.flash.timekeeper`; this module is pure state.
 
+Storage layout
+--------------
+
+Per-page and per-block tables are flat Python buffers (``bytearray`` for
+page states, ``array('q')`` for everything else): scalar reads/writes on
+the hot path cost one ``BINARY_SUBSCR`` instead of a boxed numpy scalar.
+Every table also exposes a zero-copy numpy view (``*_np``) over the same
+memory for the vectorised consumers (victim selection, wear levelling,
+integrity checks, the runtime sanitizer).  The buffers are never resized,
+so the views stay valid for the array's lifetime; mutate through either
+side, both see it.
+
 When the trace bus is enabled, every state transition additionally
 publishes an ``array``-category instant event (``program`` /
 ``invalidate`` / ``skip`` / ``erase`` / ``alloc_block`` /
@@ -22,14 +34,19 @@ from them; the Chrome-trace exporter filters them out.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from typing import Deque, Iterator, List
+from typing import Deque, Iterator, List, Optional
 
 import numpy as np
 
 from repro.flash.address import OWNER_NONE, AddressCodec, PageState
 from repro.flash.geometry import SSDGeometry
 from repro.obs.tracebus import BUS
+
+_FREE = int(PageState.FREE)
+_VALID = int(PageState.VALID)
+_INVALID = int(PageState.INVALID)
 
 
 class FlashStateError(RuntimeError):
@@ -46,15 +63,25 @@ class FlashArray:
         n_blocks = geometry.num_physical_blocks
         ppb = geometry.pages_per_block
 
-        self.page_state = np.full(n_pages, PageState.FREE, dtype=np.uint8)
-        self.page_owner = np.full(n_pages, OWNER_NONE, dtype=np.int64)
-        self.block_valid = np.zeros(n_blocks, dtype=np.int32)
-        self.block_invalid = np.zeros(n_blocks, dtype=np.int32)
+        # Flat scalar-fast stores ...
+        self.page_state = bytearray(n_pages) if _FREE == 0 else bytearray([_FREE]) * n_pages
+        self.page_owner = array("q", [OWNER_NONE]) * n_pages
+        self.block_valid = array("q", bytes(8 * n_blocks))
+        self.block_invalid = array("q", bytes(8 * n_blocks))
         # Next programmable page offset per block (ascending-order rule).
-        self.block_write_ptr = np.zeros(n_blocks, dtype=np.int32)
-        self.block_erase_count = np.zeros(n_blocks, dtype=np.int64)
+        self.block_write_ptr = array("q", bytes(8 * n_blocks))
+        self.block_erase_count = array("q", bytes(8 * n_blocks))
         # Monotonic program stamp per block (for age-based GC policies).
-        self.block_write_stamp = np.zeros(n_blocks, dtype=np.int64)
+        self.block_write_stamp = array("q", bytes(8 * n_blocks))
+        # ... and their zero-copy numpy views for vectorised consumers.
+        self.page_state_np = np.frombuffer(self.page_state, dtype=np.uint8)
+        self.page_owner_np = np.frombuffer(self.page_owner, dtype=np.int64)
+        self.block_valid_np = np.frombuffer(self.block_valid, dtype=np.int64)
+        self.block_invalid_np = np.frombuffer(self.block_invalid, dtype=np.int64)
+        self.block_write_ptr_np = np.frombuffer(self.block_write_ptr, dtype=np.int64)
+        self.block_erase_count_np = np.frombuffer(self.block_erase_count, dtype=np.int64)
+        self.block_write_stamp_np = np.frombuffer(self.block_write_stamp, dtype=np.int64)
+
         self.write_stamp = 0
         self._pages_per_block = ppb
 
@@ -63,16 +90,36 @@ class FlashArray:
         self._free_pools: List[Deque[int]] = [
             deque(range(plane * bpp, (plane + 1) * bpp)) for plane in range(geometry.num_planes)
         ]
-        self._block_is_free = np.ones(n_blocks, dtype=bool)
-        self._block_is_bad = np.zeros(n_blocks, dtype=bool)
+        self._block_is_free = bytearray([1]) * n_blocks
+        self._block_is_bad = bytearray(n_blocks)
+        self._block_is_free_np = np.frombuffer(self._block_is_free, dtype=np.bool_)
+        self._block_is_bad_np = np.frombuffer(self._block_is_bad, dtype=np.bool_)
         #: Optional callable ``block -> bool``; True retires the block at
         #: release time instead of pooling it (end-of-life wear-out).
         self.retirement_policy = None
+
+        # Low-watermark tracking: when an FTL registers its GC threshold,
+        # the array counts planes whose free pool sits below it, updated
+        # O(1) on every pool transition.  ``_maybe_gc`` can then skip its
+        # per-write all-planes scan whenever nothing is low.
+        self._gc_threshold: Optional[int] = None
+        self.gc_low_plane_count = 0
 
     # ---- pool management -------------------------------------------------
 
     def free_block_count(self, plane: int) -> int:
         return len(self._free_pools[plane])
+
+    def register_gc_threshold(self, threshold: int) -> None:
+        """Maintain ``gc_low_plane_count`` against ``threshold`` free blocks.
+
+        Idempotent; re-registering (e.g. after a power cycle rebuild)
+        recomputes the count from the current pools.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self._gc_threshold = threshold
+        self.gc_low_plane_count = sum(1 for pool in self._free_pools if len(pool) < threshold)
 
     def allocate_block(self, plane: int) -> int:
         """Take a free block out of a plane's pool."""
@@ -80,7 +127,9 @@ class FlashArray:
         if not pool:
             raise FlashStateError(f"plane {plane} has no free blocks")
         block = pool.popleft()
-        self._block_is_free[block] = False
+        self._block_is_free[block] = 0
+        if len(pool) + 1 == self._gc_threshold:  # crossed below the watermark
+            self.gc_low_plane_count += 1
         if BUS.enabled:
             BUS.emit("array", "alloc_block", 0.0, 0.0, {"block": block, "plane": plane}, None, "i")
         return block
@@ -97,14 +146,17 @@ class FlashArray:
         if self.block_write_ptr[block] != 0:
             raise FlashStateError(f"block {block} must be erased before release")
         if self.retirement_policy is not None and self.retirement_policy(block):
-            self._block_is_bad[block] = True
+            self._block_is_bad[block] = 1
             if BUS.enabled:
                 BUS.emit("array", "release_block", 0.0, 0.0,
                          {"block": block, "retired": True}, None, "i")
             return
         plane = self.codec.block_to_plane(block)
-        self._free_pools[plane].append(block)
-        self._block_is_free[block] = True
+        pool = self._free_pools[plane]
+        pool.append(block)
+        self._block_is_free[block] = 1
+        if len(pool) == self._gc_threshold:  # climbed back to the watermark
+            self.gc_low_plane_count -= 1
         if BUS.enabled:
             BUS.emit("array", "release_block", 0.0, 0.0,
                      {"block": block, "retired": False}, None, "i")
@@ -114,9 +166,12 @@ class FlashArray:
         if not self._block_is_free[block]:
             raise FlashStateError(f"cannot factory-retire in-use block {block}")
         plane = self.codec.block_to_plane(block)
-        self._free_pools[plane].remove(block)
-        self._block_is_free[block] = False
-        self._block_is_bad[block] = True
+        pool = self._free_pools[plane]
+        pool.remove(block)
+        self._block_is_free[block] = 0
+        self._block_is_bad[block] = 1
+        if len(pool) + 1 == self._gc_threshold:  # crossed below the watermark
+            self.gc_low_plane_count += 1
         if BUS.enabled:
             BUS.emit("array", "mark_bad", 0.0, 0.0, {"block": block}, None, "i")
 
@@ -125,10 +180,10 @@ class FlashArray:
 
     @property
     def bad_block_mask(self) -> np.ndarray:
-        return self._block_is_bad
+        return self._block_is_bad_np
 
     def bad_block_count(self) -> int:
-        return int(np.count_nonzero(self._block_is_bad))
+        return int(np.count_nonzero(self._block_is_bad_np))
 
     def is_block_free(self, block: int) -> bool:
         return bool(self._block_is_free[block])
@@ -136,16 +191,17 @@ class FlashArray:
     @property
     def block_free_mask(self) -> np.ndarray:
         """Read-only view: True where the block sits in a free pool."""
-        return self._block_is_free
+        return self._block_is_free_np
 
     # ---- page operations ---------------------------------------------------
 
     def program(self, ppn: int, owner: int) -> None:
         """Program a FREE page with ``owner`` (ascending order enforced)."""
-        if self.page_state[ppn] != PageState.FREE:
+        if self.page_state[ppn] != _FREE:
             raise FlashStateError(f"program of non-free page {ppn}")
-        block = self.codec.ppn_to_block(ppn)
-        offset = self.codec.ppn_to_page(ppn)
+        ppb = self._pages_per_block
+        block = ppn // ppb
+        offset = ppn - block * ppb
         if offset < self.block_write_ptr[block]:
             raise FlashStateError(
                 f"out-of-order program: page {offset} of block {block}, write ptr at {self.block_write_ptr[block]}"
@@ -154,7 +210,7 @@ class FlashArray:
             raise FlashStateError(f"program into unallocated block {block}")
         # Skipped-over pages stay FREE but can never be programmed later.
         self.block_write_ptr[block] = offset + 1
-        self.page_state[ppn] = PageState.VALID
+        self.page_state[ppn] = _VALID
         self.page_owner[ppn] = owner
         self.block_valid[block] += 1
         self.write_stamp += 1
@@ -164,10 +220,10 @@ class FlashArray:
 
     def invalidate(self, ppn: int) -> None:
         """Mark a VALID page stale (out-of-place update or relocation)."""
-        if self.page_state[ppn] != PageState.VALID:
+        if self.page_state[ppn] != _VALID:
             raise FlashStateError(f"invalidate of non-valid page {ppn}")
-        block = self.codec.ppn_to_block(ppn)
-        self.page_state[ppn] = PageState.INVALID
+        block = ppn // self._pages_per_block
+        self.page_state[ppn] = _INVALID
         self.page_owner[ppn] = OWNER_NONE
         self.block_valid[block] -= 1
         self.block_invalid[block] += 1
@@ -180,14 +236,15 @@ class FlashArray:
         The page is counted as INVALID so garbage collection can reclaim
         the space, and the block write pointer moves past it.
         """
-        if self.page_state[ppn] != PageState.FREE:
+        if self.page_state[ppn] != _FREE:
             raise FlashStateError(f"skip of non-free page {ppn}")
-        block = self.codec.ppn_to_block(ppn)
-        offset = self.codec.ppn_to_page(ppn)
+        ppb = self._pages_per_block
+        block = ppn // ppb
+        offset = ppn - block * ppb
         if offset < self.block_write_ptr[block]:
             raise FlashStateError(f"skip behind write pointer in block {block}")
         self.block_write_ptr[block] = offset + 1
-        self.page_state[ppn] = PageState.INVALID
+        self.page_state[ppn] = _INVALID
         self.block_invalid[block] += 1
         if BUS.enabled:
             BUS.emit("array", "skip", 0.0, 0.0, {"ppn": ppn}, None, "i")
@@ -199,8 +256,8 @@ class FlashArray:
         if self._block_is_free[block]:
             raise FlashStateError(f"erase of pooled free block {block}")
         ppns = self.codec.block_ppns(block)
-        self.page_state[ppns.start : ppns.stop] = PageState.FREE
-        self.page_owner[ppns.start : ppns.stop] = OWNER_NONE
+        self.page_state_np[ppns.start : ppns.stop] = _FREE
+        self.page_owner_np[ppns.start : ppns.stop] = OWNER_NONE
         self.block_invalid[block] = 0
         self.block_write_ptr[block] = 0
         self.block_erase_count[block] += 1
@@ -221,8 +278,8 @@ class FlashArray:
         if self.block_write_ptr[block] != 0:
             raise FlashStateError(f"bulk fill into partially written block {block}")
         first = self.codec.block_first_ppn(block)
-        self.page_state[first : first + n] = PageState.VALID
-        self.page_owner[first : first + n] = owners
+        self.page_state_np[first : first + n] = _VALID
+        self.page_owner_np[first : first + n] = owners
         self.block_valid[block] = n
         self.block_write_ptr[block] = n
         self.write_stamp += n
@@ -237,18 +294,19 @@ class FlashArray:
         """PPNs of valid pages in a block, in ascending page order."""
         first = block * self._pages_per_block
         states = self.page_state[first : first + self._pages_per_block]
-        for offset in np.flatnonzero(states == PageState.VALID):
-            yield first + int(offset)
+        for offset, state in enumerate(states):
+            if state == _VALID:
+                yield first + offset
 
     def owner_of(self, ppn: int) -> int:
-        return int(self.page_owner[ppn])
+        return self.page_owner[ppn]
 
     def state_of(self, ppn: int) -> PageState:
         return PageState(self.page_state[ppn])
 
     def block_free_pages(self, block: int) -> int:
         """Programmable pages remaining in a block (past the write pointer)."""
-        return self._pages_per_block - int(self.block_write_ptr[block])
+        return self._pages_per_block - self.block_write_ptr[block]
 
     def plane_blocks(self, plane: int) -> range:
         bpp = self.geometry.physical_blocks_per_plane
@@ -256,19 +314,19 @@ class FlashArray:
 
     def utilization(self) -> float:
         """Fraction of physical pages currently valid."""
-        return float(np.count_nonzero(self.page_state == PageState.VALID)) / len(self.page_state)
+        return float(np.count_nonzero(self.page_state_np == _VALID)) / len(self.page_state)
 
     def check_consistency(self) -> None:
         """Expensive invariant check used by tests and debug runs."""
         for block in range(self.geometry.num_physical_blocks):
             first = block * self._pages_per_block
-            states = self.page_state[first : first + self._pages_per_block]
-            n_valid = int(np.count_nonzero(states == PageState.VALID))
-            n_invalid = int(np.count_nonzero(states == PageState.INVALID))
+            states = self.page_state_np[first : first + self._pages_per_block]
+            n_valid = int(np.count_nonzero(states == _VALID))
+            n_invalid = int(np.count_nonzero(states == _INVALID))
             if n_valid != self.block_valid[block]:
                 raise FlashStateError(f"block {block}: valid count {self.block_valid[block]} != {n_valid}")
             if n_invalid != self.block_invalid[block]:
                 raise FlashStateError(f"block {block}: invalid count {self.block_invalid[block]} != {n_invalid}")
-            ptr = int(self.block_write_ptr[block])
-            if np.any(states[ptr:] != PageState.FREE):
+            ptr = self.block_write_ptr[block]
+            if np.any(states[ptr:] != _FREE):
                 raise FlashStateError(f"block {block}: non-free page past write pointer {ptr}")

@@ -77,5 +77,5 @@ class BadBlockManager:
         alive = ~self.array.bad_block_mask
         if not alive.any():
             return 0.0
-        used = self.array.block_erase_count[alive] / self.endurance[alive]
+        used = self.array.block_erase_count_np[alive] / self.endurance[alive]
         return float(np.clip(1.0 - used, 0.0, 1.0).mean())

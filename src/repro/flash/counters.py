@@ -3,11 +3,17 @@
 The per-plane counts feed the paper's SDRPP metric (standard deviation
 of requests per plane, Section V.A); the command totals quantify GC
 overhead and copy-back usage.
+
+The per-plane/per-channel accumulators are plain Python lists: they are
+bumped one scalar at a time on every flash operation, where list
+indexing beats boxed numpy scalar arithmetic severalfold.  Consumers
+that want vectorised math wrap them in ``np.asarray`` at read time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
 import numpy as np
 
@@ -16,24 +22,24 @@ import numpy as np
 class FlashCounters:
     num_planes: int
     num_channels: int
-    plane_ops: np.ndarray = field(init=False)
+    plane_ops: List[int] = field(init=False)
     reads: int = 0
     programs: int = 0
     erases: int = 0
     copybacks: int = 0
     interplane_copies: int = 0
     skipped_pages: int = 0
-    channel_busy_us: np.ndarray = field(init=False)
-    plane_busy_us: np.ndarray = field(init=False)
+    channel_busy_us: List[float] = field(init=False)
+    plane_busy_us: List[float] = field(init=False)
 
     def __post_init__(self) -> None:
-        self.plane_ops = np.zeros(self.num_planes, dtype=np.int64)
-        self.channel_busy_us = np.zeros(self.num_channels, dtype=np.float64)
-        self.plane_busy_us = np.zeros(self.num_planes, dtype=np.float64)
+        self.plane_ops = [0] * self.num_planes
+        self.channel_busy_us = [0.0] * self.num_channels
+        self.plane_busy_us = [0.0] * self.num_planes
 
     @property
     def total_ops(self) -> int:
-        return int(self.plane_ops.sum())
+        return sum(self.plane_ops)
 
     def plane_request_std(self) -> float:
         """Std-dev of per-plane request counts (the raw SDRPP quantity)."""
@@ -61,7 +67,7 @@ class FlashCounters:
         """Plain-python view (no numpy types), for traces/JSON/reports.
 
         Trace snapshots and result serialisation consume this instead
-        of reaching into the numpy arrays directly.
+        of reaching into the accumulators directly.
         """
         return {
             "reads": self.reads,
@@ -85,6 +91,6 @@ class FlashCounters:
         self.copybacks = 0
         self.interplane_copies = 0
         self.skipped_pages = 0
-        self.plane_ops.fill(0)
-        self.plane_busy_us.fill(0.0)
-        self.channel_busy_us.fill(0.0)
+        self.plane_ops[:] = [0] * self.num_planes
+        self.plane_busy_us[:] = [0.0] * self.num_planes
+        self.channel_busy_us[:] = [0.0] * self.num_channels

@@ -22,8 +22,6 @@ channel-level parallelism of Section II.B:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.flash.counters import FlashCounters
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import TimingParams
@@ -45,9 +43,12 @@ class FlashTimekeeper:
         self.geometry = geometry
         self.timing = timing
         self.die_aware = die_aware
-        self.plane_free = np.zeros(geometry.num_planes, dtype=np.float64)
-        self.channel_free = np.zeros(geometry.channels, dtype=np.float64)
-        self.die_bus_free = np.zeros(geometry.num_dies, dtype=np.float64)
+        # Plain lists: one scalar max/store per op, no boxed numpy floats.
+        # Python floats and numpy float64 share IEEE-double arithmetic,
+        # so completion times are bit-identical either way.
+        self.plane_free = [0.0] * geometry.num_planes
+        self.channel_free = [0.0] * geometry.channels
+        self.die_bus_free = [0.0] * geometry.num_dies
         self.counters = FlashCounters(geometry.num_planes, geometry.channels)
         self._page_xfer = timing.page_transfer_us(geometry.page_size)
 
@@ -156,12 +157,12 @@ class FlashTimekeeper:
 
     def quiesce_time(self) -> float:
         """Time at which every resource is idle."""
-        return max(float(self.plane_free.max()), float(self.channel_free.max()))
+        return max(max(self.plane_free), max(self.channel_free))
 
     def reset_measurements(self) -> None:
         """Zero timelines and counters (after preconditioning a device)."""
-        self.plane_free.fill(0.0)
-        self.channel_free.fill(0.0)
-        self.die_bus_free.fill(0.0)
+        self.plane_free[:] = [0.0] * len(self.plane_free)
+        self.channel_free[:] = [0.0] * len(self.channel_free)
+        self.die_bus_free[:] = [0.0] * len(self.die_bus_free)
         # In-place reset keeps references (samplers, exporters) valid.
         self.counters.reset()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import random
+from array import array as arr_mod
 from dataclasses import dataclass
 from typing import Optional
 
@@ -70,8 +71,12 @@ class Ftl(abc.ABC):
         self.array = FlashArray(geometry)
         self.clock = FlashTimekeeper(geometry, self.timing)
         self.codec = self.array.codec
-        self.page_table = np.full(geometry.num_lpns, -1, dtype=np.int64)
+        # Flat int64 map (scalar-fast) plus a zero-copy numpy view for
+        # the vectorised paths (bulk fill, recovery, integrity scans).
+        self.page_table = arr_mod("q", [-1]) * geometry.num_lpns
+        self.page_table_np = np.frombuffer(self.page_table, dtype=np.int64)
         self.gc_threshold = gc_threshold
+        self.array.register_gc_threshold(gc_threshold)
         self.max_gc_passes = max_gc_passes
         self.gc_victim_policy = gc_victim_policy
         self._gc_rng = random.Random(gc_policy_seed)
@@ -177,6 +182,11 @@ class Ftl(abc.ABC):
             # the translation-write fallback, and the top-level drain
             # loop will service this plane right after the current pass.
             self._gc_pending.add(plane)
+            return now
+        if self.array.gc_low_plane_count == 0:
+            # O(1) fast path: the array tracks how many planes sit below
+            # the registered threshold; nothing low means the scan below
+            # would build an empty queue and return — skip it.
             return now
         # Device-wide scan: a plane that no longer receives writes (its
         # pool ran dry, so allocators avoid it) must still be collected,
@@ -373,13 +383,13 @@ class Ftl(abc.ABC):
 
     def current_ppn(self, lpn: int) -> int:
         """Physical location of an LPN, or -1 if never written."""
-        return int(self.page_table[lpn])
+        return self.page_table[lpn]
 
     def is_mapped(self, lpn: int) -> bool:
         return self.page_table[lpn] != -1
 
     def mapped_lpns(self) -> np.ndarray:
-        return np.flatnonzero(self.page_table != -1)
+        return np.flatnonzero(self.page_table_np != -1)
 
     # ---- power-loss recovery ----------------------------------------------------
 
@@ -395,11 +405,11 @@ class Ftl(abc.ABC):
         Subclasses with additional persistent structures (GTD, block
         tables) extend :meth:`_rebuild_extra_state`.
         """
-        self.page_table.fill(-1)
-        valid_ppns = np.flatnonzero(self.array.page_state == PageState.VALID)
-        owners = self.array.page_owner[valid_ppns]
+        self.page_table_np.fill(-1)
+        valid_ppns = np.flatnonzero(self.array.page_state_np == PageState.VALID)
+        owners = self.array.page_owner_np[valid_ppns]
         data_mask = owners >= 0
-        self.page_table[owners[data_mask]] = valid_ppns[data_mask]
+        self.page_table_np[owners[data_mask]] = valid_ppns[data_mask]
         self._rebuild_extra_state(valid_ppns[~data_mask], owners[~data_mask])
         return int(np.count_nonzero(data_mask))
 
@@ -417,20 +427,20 @@ class Ftl(abc.ABC):
         """
         self.array.check_consistency()
         mapped = self.mapped_lpns()
-        ppns = self.page_table[mapped]
-        states = self.array.page_state[ppns]
+        ppns = self.page_table_np[mapped]
+        states = self.array.page_state_np[ppns]
         if np.any(states != PageState.VALID):
             bad = mapped[states != PageState.VALID]
             raise AssertionError(f"mapped lpns pointing at non-valid pages: {bad[:10]}")
-        owners = self.array.page_owner[ppns]
+        owners = self.array.page_owner_np[ppns]
         if np.any(owners != mapped):
             bad = mapped[owners != mapped]
             raise AssertionError(f"page owner mismatch for lpns: {bad[:10]}")
         # Reverse direction: valid data pages must be reachable.
-        valid_ppns = np.flatnonzero(self.array.page_state == PageState.VALID)
-        owners = self.array.page_owner[valid_ppns]
+        valid_ppns = np.flatnonzero(self.array.page_state_np == PageState.VALID)
+        owners = self.array.page_owner_np[valid_ppns]
         data_mask = owners >= 0
-        back = self.page_table[owners[data_mask]]
+        back = self.page_table_np[owners[data_mask]]
         if np.any(back != valid_ppns[data_mask]):
             raise AssertionError("valid data page not referenced by page_table")
         self.extra_integrity_checks(valid_ppns[~data_mask], owners[~data_mask])

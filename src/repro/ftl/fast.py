@@ -138,7 +138,7 @@ class FastFtl(Ftl):
         for lbn in range(full_lbns):
             block = self._alloc_block(lbn % self.num_planes)
             lpns = np.arange(lbn * ppb, (lbn + 1) * ppb, dtype=np.int64)
-            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.page_table_np[lpns] = self.array.bulk_fill_block(block, lpns)
             self.data_block[lbn] = block
         for lpn in range(full_lbns * ppb, count):
             self.write_page(lpn, 0.0)

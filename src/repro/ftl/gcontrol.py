@@ -96,10 +96,10 @@ def select_victim(
     if policy not in VICTIM_POLICIES:
         raise ValueError(f"policy must be one of {VICTIM_POLICIES}")
     blocks = array.plane_blocks(plane)
-    invalid = array.block_invalid[blocks.start : blocks.stop].astype(np.int64, copy=True)
+    invalid = array.block_invalid_np[blocks.start : blocks.stop].astype(np.int64, copy=True)
     eligible = ~array.block_free_mask[blocks.start : blocks.stop] & (invalid > 0)
     if max_valid is not None:
-        valid = array.block_valid[blocks.start : blocks.stop]
+        valid = array.block_valid_np[blocks.start : blocks.stop]
         eligible &= valid <= max_valid
     for block in exclude:
         if block is not None and blocks.start <= block < blocks.stop:
@@ -110,13 +110,13 @@ def select_victim(
     if policy == "greedy":
         pick = candidates[int(np.argmax(invalid[candidates]))]
     elif policy == "cost-benefit":
-        valid = array.block_valid[blocks.start : blocks.stop].astype(np.float64)
-        stamps = array.block_write_stamp[blocks.start : blocks.stop].astype(np.float64)
+        valid = array.block_valid_np[blocks.start : blocks.stop].astype(np.float64)
+        stamps = array.block_write_stamp_np[blocks.start : blocks.stop].astype(np.float64)
         age = (array.write_stamp + 1) - stamps
         score = age[candidates] * invalid[candidates] / (valid[candidates] + 1.0)
         pick = candidates[int(np.argmax(score))]
     elif policy == "fifo":
-        stamps = array.block_write_stamp[blocks.start : blocks.stop]
+        stamps = array.block_write_stamp_np[blocks.start : blocks.stop]
         pick = candidates[int(np.argmin(stamps[candidates]))]
     else:  # random
         if rng is None:

@@ -13,8 +13,7 @@ translation page), so directory lookups are free; only translation
 from __future__ import annotations
 
 import math
-
-import numpy as np
+from array import array
 
 
 class GlobalTranslationDirectory:
@@ -25,7 +24,8 @@ class GlobalTranslationDirectory:
             raise ValueError("num_lpns must be >= 1")
         self.entries_per_tpage = max(1, page_size // self.ENTRY_BYTES)
         self.num_tpages = math.ceil(num_lpns / self.entries_per_tpage)
-        self._tpage_ppn = np.full(self.num_tpages, -1, dtype=np.int64)
+        # Flat int64 directory: tvpn -> ppn, -1 when never materialised.
+        self._tpage_ppn = array("q", [-1]) * self.num_tpages
 
     def tvpn_of(self, lpn: int) -> int:
         return lpn // self.entries_per_tpage
@@ -36,7 +36,7 @@ class GlobalTranslationDirectory:
 
     def lookup(self, tvpn: int) -> int:
         """PPN of a translation page, or -1 if never materialised."""
-        return int(self._tpage_ppn[tvpn])
+        return self._tpage_ppn[tvpn]
 
     def update(self, tvpn: int, ppn: int) -> None:
         self._tpage_ppn[tvpn] = ppn
@@ -45,4 +45,4 @@ class GlobalTranslationDirectory:
         return self._tpage_ppn[tvpn] != -1
 
     def mapped_count(self) -> int:
-        return int(np.count_nonzero(self._tpage_ppn != -1))
+        return sum(1 for ppn in self._tpage_ppn if ppn != -1)

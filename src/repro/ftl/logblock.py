@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.flash.address import OWNER_NONE
 from repro.ftl.base import OutOfSpaceError
 
 
@@ -58,10 +59,11 @@ class MapJournal:
         block = self._current
         offset = int(self.array.block_write_ptr[block])
         ppn = self.array.codec.block_first_ppn(block) + offset
-        # Journal pages carry no owner the FTL tracks; mark them stale
-        # immediately (superseded by the next snapshot) so the ring
-        # erases cleanly.
-        self.array.program(ppn, 0)
+        # Journal pages carry no owner the FTL tracks (OWNER_NONE, not
+        # a fake LPN that event-stream consumers would confuse with a
+        # real page-0 mapping); mark them stale immediately (superseded
+        # by the next snapshot) so the ring erases cleanly.
+        self.array.program(ppn, OWNER_NONE)
         self.array.invalidate(ppn)
         t = self.clock.program_page(self.PLANE, t)
         self.map_writes += 1
@@ -207,7 +209,7 @@ class LogBlockMixin:
         for lbn in range(full_lbns):
             block = self._alloc_block(lbn % self.num_planes)
             lpns = np.arange(lbn * ppb, (lbn + 1) * ppb, dtype=np.int64)
-            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.page_table_np[lpns] = self.array.bulk_fill_block(block, lpns)
             self.data_block[lbn] = block
         for lpn in range(full_lbns * ppb, count):
             self.write_page(lpn, 0.0)

@@ -124,7 +124,7 @@ class PageMapFtl(Ftl):
                 full = (len(lpns) // ppb) * ppb
                 for start in range(0, full, ppb):
                     block = self.array.allocate_block(plane)
-                    self.page_table[lpns[start : start + ppb]] = self.array.bulk_fill_block(
+                    self.page_table_np[lpns[start : start + ppb]] = self.array.bulk_fill_block(
                         block, lpns[start : start + ppb]
                     )
                 for lpn in lpns[full:]:
@@ -136,7 +136,7 @@ class PageMapFtl(Ftl):
             plane = i % planes
             block = self.array.allocate_block(plane)
             lpns = np.arange(i * ppb, (i + 1) * ppb, dtype=np.int64)
-            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.page_table_np[lpns] = self.array.bulk_fill_block(block, lpns)
         for lpn in range(full_blocks * ppb, count):
             self.write_page(lpn, 0.0)
 

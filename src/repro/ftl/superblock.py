@@ -214,7 +214,7 @@ class SuperblockFtl(Ftl):
             block = self._alloc_block()
             self._blocks.setdefault(sb, []).append(block)
             lpns = np.arange(i * ppb, (i + 1) * ppb, dtype=np.int64)
-            self.page_table[lpns] = self.array.bulk_fill_block(block, lpns)
+            self.page_table_np[lpns] = self.array.bulk_fill_block(block, lpns)
         for lpn in range(full_blocks * ppb, count):
             self.write_page(lpn, 0.0)
 

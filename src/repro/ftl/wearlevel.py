@@ -58,12 +58,12 @@ class StaticWearLeveler:
     def maybe_level(self, now: float) -> float:
         """Check the wear spread; migrate one cold block if excessive."""
         array = self.ftl.array
-        total = int(array.block_erase_count.sum())
+        total = int(array.block_erase_count_np.sum())
         if total - self._last_checked_at < self.check_interval:
             return now
         self._last_checked_at = total
         self.stats.checks += 1
-        counts = array.block_erase_count
+        counts = array.block_erase_count_np
         gap = int(counts.max() - counts.min())
         if gap < self.gap_threshold:
             return now
@@ -71,9 +71,9 @@ class StaticWearLeveler:
 
     def _migrate_coldest(self, now: float) -> float:
         array = self.ftl.array
-        counts = array.block_erase_count.astype(np.int64, copy=True)
+        counts = array.block_erase_count_np.astype(np.int64, copy=True)
         # only in-use blocks holding valid data are migration candidates
-        candidates = ~array.block_free_mask & (array.block_valid > 0)
+        candidates = ~array.block_free_mask & (array.block_valid_np > 0)
         # never touch active write points
         for plane in range(self.ftl.geometry.num_planes):
             for block in self.ftl._gc_exclude(plane):
@@ -102,5 +102,5 @@ class StaticWearLeveler:
         return t
 
     def wear_gap(self) -> int:
-        counts = self.ftl.array.block_erase_count
+        counts = self.ftl.array.block_erase_count_np
         return int(counts.max() - counts.min())

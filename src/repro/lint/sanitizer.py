@@ -85,8 +85,8 @@ class SimSanitizer:
         # bus events afterwards — an independent re-derivation, so a
         # bookkeeping bug in FlashArray itself is caught too.
         array = ftl.array
-        self._shadow_state = array.page_state.copy()
-        self._shadow_ptr = array.block_write_ptr.copy()
+        self._shadow_state = array.page_state_np.copy()
+        self._shadow_ptr = array.block_write_ptr_np.copy()
         self._shadow_free = array.block_free_mask.copy()
         self._shadow_erased = np.zeros(n_blocks, dtype=bool)
         # Event-order tracking.
@@ -350,35 +350,35 @@ class SimSanitizer:
     def _check_mapping_coherence(self) -> None:
         ftl = self.ftl
         array = ftl.array
-        page_table = ftl.page_table
+        page_table = ftl.page_table_np
         mapped = np.flatnonzero(page_table != -1)
         if len(mapped):
             ppns = page_table[mapped]
-            states = array.page_state[ppns]
+            states = array.page_state_np[ppns]
             bad = mapped[states != PageState.VALID]
             if len(bad):
                 lpn = int(bad[0])
                 self._fail(
                     "mapping-coherence",
                     f"lpn {lpn} maps to ppn {int(page_table[lpn])} whose state is "
-                    f"{PageState(array.page_state[page_table[lpn]]).name}, not VALID "
+                    f"{PageState(array.page_state[int(page_table[lpn])]).name}, not VALID "
                     f"({len(bad)} such entries)",
                     self._mapping_snapshot(lpn),
                 )
-            owners = array.page_owner[ppns]
+            owners = array.page_owner_np[ppns]
             bad = mapped[owners != mapped]
             if len(bad):
                 lpn = int(bad[0])
                 self._fail(
                     "mapping-coherence",
                     f"reverse map broken: ppn {int(page_table[lpn])} is owned by "
-                    f"{int(array.page_owner[page_table[lpn]])}, not lpn {lpn} "
+                    f"{int(array.page_owner[int(page_table[lpn])])}, not lpn {lpn} "
                     f"({len(bad)} such entries)",
                     self._mapping_snapshot(lpn),
                 )
         # Reverse direction: every VALID data page must be reachable.
-        valid_ppns = np.flatnonzero(array.page_state == PageState.VALID)
-        owners = array.page_owner[valid_ppns]
+        valid_ppns = np.flatnonzero(array.page_state_np == PageState.VALID)
+        owners = array.page_owner_np[valid_ppns]
         data_mask = owners >= 0
         back = page_table[owners[data_mask]]
         stray = valid_ppns[data_mask][back != valid_ppns[data_mask]]

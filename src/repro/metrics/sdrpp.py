@@ -18,13 +18,13 @@ from repro.flash.counters import FlashCounters
 
 def plane_request_counts(counters: FlashCounters) -> np.ndarray:
     """Per-plane operation counts accumulated by the timekeeper."""
-    return counters.plane_ops.copy()
+    return np.asarray(counters.plane_ops)
 
 
 def sdrpp(counters_or_counts) -> float:
     """Natural log of the std-dev of per-plane request counts."""
     if isinstance(counters_or_counts, FlashCounters):
-        counts = counters_or_counts.plane_ops
+        counts = np.asarray(counters_or_counts.plane_ops)
     else:
         counts = np.asarray(counters_or_counts)
     std = float(np.std(counts))

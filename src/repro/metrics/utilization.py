@@ -58,6 +58,6 @@ def utilization(counters: FlashCounters, duration_us: float) -> UtilizationRepor
         raise ValueError("duration_us must be > 0")
     return UtilizationReport(
         duration_us=duration_us,
-        channel_utilization=counters.channel_busy_us / duration_us,
-        plane_utilization=counters.plane_busy_us / duration_us,
+        channel_utilization=np.asarray(counters.channel_busy_us) / duration_us,
+        plane_utilization=np.asarray(counters.plane_busy_us) / duration_us,
     )

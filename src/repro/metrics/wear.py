@@ -26,7 +26,7 @@ class WearStats:
 
 
 def wear_stats(array: FlashArray) -> WearStats:
-    counts = array.block_erase_count
+    counts = array.block_erase_count_np
     return WearStats(
         total_erases=int(counts.sum()),
         max_erases=int(counts.max()),

@@ -62,11 +62,17 @@ class TraceBus:
     state: tracing on vs. off must leave results bit-identical.
     """
 
-    __slots__ = ("enabled", "_subscribers")
+    __slots__ = ("enabled", "_subscribers", "emit")
 
     def __init__(self) -> None:
         self.enabled: bool = False
         self._subscribers: List[Subscriber] = []
+        # ``emit`` is an instance attribute swapped between the live
+        # implementation and a no-op stub: with zero subscribers a call
+        # costs one no-op invocation instead of building a TraceEvent
+        # nobody reads.  Hot paths still guard with ``if bus.enabled``;
+        # the stub covers unguarded callers for free.
+        self.emit = self._emit_noop
 
     # ---- subscription ----------------------------------------------------
 
@@ -74,6 +80,7 @@ class TraceBus:
         """Register ``fn`` and enable the bus.  Returns ``fn``."""
         self._subscribers.append(fn)
         self.enabled = True
+        self.emit = self._emit_live
         return fn
 
     def unsubscribe(self, fn: Subscriber) -> None:
@@ -81,6 +88,7 @@ class TraceBus:
         self._subscribers.remove(fn)
         if not self._subscribers:
             self.enabled = False
+            self.emit = self._emit_noop
 
     @property
     def subscriber_count(self) -> int:
@@ -90,10 +98,11 @@ class TraceBus:
         """Drop every subscriber and disable the bus (test teardown)."""
         self._subscribers.clear()
         self.enabled = False
+        self.emit = self._emit_noop
 
     # ---- emission --------------------------------------------------------
 
-    def emit(
+    def _emit_live(
         self,
         category: str,
         name: str,
@@ -112,6 +121,18 @@ class TraceBus:
         event = TraceEvent(category, name, ts_us, duration_us, args, track, ph)
         for fn in self._subscribers:
             fn(event)
+
+    def _emit_noop(
+        self,
+        category: str,
+        name: str,
+        ts_us: float,
+        duration_us: float = 0.0,
+        args: Optional[dict] = None,
+        track: Optional[str] = None,
+        ph: str = "X",
+    ) -> None:
+        """Subscriber-free fast path: do nothing."""
 
     def counter(self, name: str, ts_us: float, values: dict) -> None:
         """Convenience: emit a counter sample (phase ``"C"``)."""

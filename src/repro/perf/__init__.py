@@ -1,0 +1,48 @@
+"""repro.perf: micro-benchmark suite and perf-regression harness.
+
+The package answers two questions every PR must keep answering:
+
+* **How fast is the simulator?**  A fixed suite of microbenchmarks
+  (engine churn, per-FTL write mixes, GC-heavy steady state) measures
+  wall time, throughput and peak RSS on the machine it runs on.
+* **Did an optimisation change behaviour?**  Every benchmark also
+  computes a *determinism fingerprint* — final simulated clock, event
+  counts, flash counters and a mapping-table checksum.  Fingerprints
+  are machine-independent and bit-stable: an optimisation is only
+  legal if the fingerprints it produces are identical to the committed
+  baseline (``BENCH_seed.json``); timings are reported but never gate.
+
+Entry points::
+
+    repro-sim bench                  # full suite, writes BENCH_local.json
+    repro-sim bench --quick          # CI-sized suite
+    repro-sim bench --check BENCH_seed.json   # gate on fingerprints
+
+See ``docs/performance.md`` for the optimisation inventory and how to
+add a benchmark.
+"""
+
+from repro.perf.fingerprint import checksum_int64, engine_fingerprint, ftl_fingerprint
+from repro.perf.harness import (
+    BenchRecord,
+    BenchReport,
+    compare_reports,
+    load_report,
+    run_suite,
+    save_report,
+)
+from repro.perf.workloads import BENCHMARKS, Benchmark
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "BenchRecord",
+    "BenchReport",
+    "checksum_int64",
+    "compare_reports",
+    "engine_fingerprint",
+    "ftl_fingerprint",
+    "load_report",
+    "run_suite",
+    "save_report",
+]

@@ -1,0 +1,217 @@
+"""Benchmark harness: timing, peak RSS, JSON reports, baseline gating.
+
+Wall-clock reads live here and only here — the workloads themselves are
+pure simulated time (the determinism linter enforces this for the whole
+package; the two ``perf_counter`` sites below carry explicit pragmas
+because measuring the host is the harness's entire job).
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.perf.workloads import BENCHMARKS, Benchmark
+
+#: Bump when record/report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchRecord:
+    name: str
+    description: str
+    unit: str
+    work_units: int
+    wall_s: float
+    throughput_per_s: float
+    peak_rss_kb: int
+    headline: bool
+    fingerprint: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "unit": self.unit,
+            "work_units": self.work_units,
+            "wall_s": self.wall_s,
+            "throughput_per_s": self.throughput_per_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "headline": self.headline,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class BenchReport:
+    label: str
+    quick: bool
+    records: List[BenchRecord] = field(default_factory=list)
+
+    def record(self, name: str) -> Optional[BenchRecord]:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "label": self.label,
+            "quick": self.quick,
+            "records": [rec.as_dict() for rec in self.records],
+        }
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (ru_maxrss is KiB on Linux, bytes on macOS)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        rss //= 1024
+    return int(rss)
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    label: str = "local",
+    only: Optional[Sequence[str]] = None,
+    repeat: int = 1,
+    progress=None,
+) -> BenchReport:
+    """Run the benchmark suite and return a :class:`BenchReport`.
+
+    ``repeat`` re-runs each benchmark and keeps the best wall time (the
+    standard defence against scheduler noise); fingerprints must agree
+    across repeats or the workload is non-deterministic and the run
+    fails loudly.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    selected: List[Benchmark] = []
+    if only:
+        known = {b.name: b for b in BENCHMARKS}
+        for name in only:
+            if name not in known:
+                raise ValueError(f"unknown benchmark {name!r}; available: {sorted(known)}")
+            selected.append(known[name])
+    else:
+        selected = list(BENCHMARKS)
+
+    report = BenchReport(label=label, quick=quick)
+    for bench in selected:
+        if progress is not None:
+            progress(bench.name)
+        best_wall: Optional[float] = None
+        fingerprint: Optional[Dict[str, Any]] = None
+        work = 0
+        unit = ""
+        for _ in range(repeat):
+            start = time.perf_counter()  # dl: disable=DL101 — host-side bench timing
+            fp, work, unit = bench.fn(quick)
+            wall = time.perf_counter() - start  # dl: disable=DL101 — host-side bench timing
+            if fingerprint is None:
+                fingerprint = fp
+            elif fingerprint != fp:
+                raise RuntimeError(
+                    f"benchmark {bench.name!r} is non-deterministic across repeats: "
+                    f"{fingerprint} != {fp}"
+                )
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        assert best_wall is not None and fingerprint is not None
+        report.records.append(
+            BenchRecord(
+                name=bench.name,
+                description=bench.description,
+                unit=unit,
+                work_units=work,
+                wall_s=best_wall,
+                throughput_per_s=work / best_wall if best_wall > 0 else 0.0,
+                peak_rss_kb=_peak_rss_kb(),
+                headline=bench.headline,
+                fingerprint=fingerprint,
+            )
+        )
+    return report
+
+
+# ---- persistence -----------------------------------------------------------
+
+
+def save_report(report: BenchReport, path: str) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path, "r", encoding="ascii") as handle:
+        data = json.load(handle)
+    report = BenchReport(label=data["label"], quick=bool(data["quick"]))
+    for raw in data["records"]:
+        report.records.append(
+            BenchRecord(
+                name=raw["name"],
+                description=raw.get("description", ""),
+                unit=raw["unit"],
+                work_units=int(raw["work_units"]),
+                wall_s=float(raw["wall_s"]),
+                throughput_per_s=float(raw["throughput_per_s"]),
+                peak_rss_kb=int(raw["peak_rss_kb"]),
+                headline=bool(raw.get("headline", False)),
+                fingerprint=dict(raw["fingerprint"]),
+            )
+        )
+    return report
+
+
+# ---- baseline comparison ---------------------------------------------------
+
+
+@dataclass
+class CompareResult:
+    #: Benchmarks whose fingerprints differ from the baseline (gating).
+    mismatches: List[str]
+    #: Baseline benchmarks absent from the current run (gating).
+    missing: List[str]
+    #: name -> (current, baseline) throughput, for the report (non-gating).
+    throughput: Dict[str, tuple]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.missing
+
+
+def compare_reports(current: BenchReport, baseline: BenchReport) -> CompareResult:
+    """Gate ``current`` against a committed ``baseline``.
+
+    Determinism fingerprints must match exactly for every benchmark the
+    baseline contains; wall-time/throughput deltas are informational
+    (machines differ — regressions are judged by a human reading the
+    report, bit-drift is judged by the machine).
+    """
+    if current.quick != baseline.quick:
+        raise ValueError(
+            f"mode mismatch: current is {'quick' if current.quick else 'full'}, "
+            f"baseline is {'quick' if baseline.quick else 'full'} — "
+            "fingerprints are only comparable within one mode"
+        )
+    mismatches: List[str] = []
+    missing: List[str] = []
+    throughput: Dict[str, tuple] = {}
+    for base_rec in baseline.records:
+        cur_rec = current.record(base_rec.name)
+        if cur_rec is None:
+            missing.append(base_rec.name)
+            continue
+        if cur_rec.fingerprint != base_rec.fingerprint:
+            mismatches.append(base_rec.name)
+        throughput[base_rec.name] = (cur_rec.throughput_per_s, base_rec.throughput_per_s)
+    return CompareResult(mismatches=mismatches, missing=missing, throughput=throughput)

@@ -16,7 +16,7 @@ def first_ppn(array, block):
 
 
 def test_initial_state_all_free(array):
-    assert (array.page_state == PageState.FREE).all()
+    assert (array.page_state_np == PageState.FREE).all()
     assert array.utilization() == 0.0
     for plane in range(array.geometry.num_planes):
         assert array.free_block_count(plane) == array.geometry.physical_blocks_per_plane

@@ -71,7 +71,7 @@ def test_gc_keeps_translation_pages_reachable(ftl):
     # every valid translation page is the GTD's current pointer
     import numpy as np
 
-    valid = np.flatnonzero(ftl.array.page_state == PageState.VALID)
+    valid = np.flatnonzero(ftl.array.page_state_np == PageState.VALID)
     for ppn in valid:
         owner = ftl.array.owner_of(int(ppn))
         if is_translation_owner(owner):

@@ -165,3 +165,87 @@ def test_pending_counts_events_scheduled_by_callbacks():
     engine.run()
     assert seen == ["x"]
     assert engine.pending == 0
+
+
+def test_pending_accounting_under_schedule_cancel_churn():
+    """Randomized schedule/cancel/step churn: ``pending`` never drifts.
+
+    The O(1) pending counter is maintained at three sites (schedule,
+    cancel, dispatch) and polled by background GC / sampler re-arm
+    logic; a drift bug would starve or spin those loops.  Cross-check
+    it against a brute-force scan of handle states after every burst,
+    including double-cancels and cancel-after-fire.
+    """
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    engine = Engine()
+    handles = []
+    fired = []
+
+    for _ in range(150):
+        for _ in range(rng.randrange(1, 8)):
+            if rng.random() < 0.5:
+                handles.extend(
+                    engine.schedule_many(
+                        (engine.now + rng.random() * 10.0, fired.append, len(handles))
+                        for _ in range(rng.randrange(1, 4))
+                    )
+                )
+            else:
+                handles.append(
+                    engine.schedule_after(rng.random() * 10.0, fired.append, len(handles))
+                )
+        for _ in range(rng.randrange(0, 4)):
+            victim = rng.choice(handles)
+            engine.cancel(victim)
+            if rng.random() < 0.3:
+                engine.cancel(victim)  # double-cancel must not re-decrement
+        for _ in range(rng.randrange(0, 3)):
+            engine.step()
+        alive = sum(1 for h in handles if not h.fired and not h.cancelled)
+        assert engine.pending == alive
+
+    engine.run()
+    assert engine.pending == 0
+    assert len(fired) == sum(1 for h in handles if h.fired)
+    assert all(h.fired or h.cancelled for h in handles)
+    for h in handles:  # cancel after the run is a universal no-op
+        engine.cancel(h)
+    assert engine.pending == 0
+
+
+def test_schedule_many_interleaves_with_existing_events():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(5.0, fired.append, "single-5")
+    engine.schedule_at(15.0, fired.append, "single-15")
+    engine.schedule_many(
+        [
+            (10.0, fired.append, "batch-10"),
+            (1.0, fired.append, "batch-1"),
+            (20.0, fired.append, "batch-20"),
+        ]
+    )
+    assert engine.pending == 5
+    engine.run()
+    assert fired == ["batch-1", "single-5", "batch-10", "single-15", "batch-20"]
+
+
+def test_schedule_many_same_time_keeps_submission_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_many([(3.0, fired.append, i) for i in range(6)])
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_schedule_many_handles_are_cancellable():
+    engine = Engine()
+    fired = []
+    handles = engine.schedule_many([(float(t), fired.append, t) for t in range(1, 5)])
+    engine.cancel(handles[1])
+    engine.cancel(handles[2])
+    engine.run()
+    assert fired == [1, 4]
+    assert engine.pending == 0

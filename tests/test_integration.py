@@ -88,7 +88,7 @@ def test_dloop_gc_frees_bus_for_reads(small_geometry):
         ssd = SimulatedSSD(small_geometry, ftl=ftl)
         ssd.precondition(0.7)
         ssd.run(mixed_workload(small_geometry, n=2500, seed=9))
-        busy[ftl] = float(ssd.counters.channel_busy_us.sum())
+        busy[ftl] = float(sum(ssd.counters.channel_busy_us))
     assert busy["dloop"] < busy["dloop-nocb"]
 
 

@@ -22,7 +22,7 @@ def test_journal_appends_on_plane_zero(journal_env):
     assert t > 0.0
     assert journal.map_writes == 1
     assert clock.counters.plane_ops[0] == 1
-    assert clock.counters.plane_ops[1:].sum() == 0
+    assert sum(clock.counters.plane_ops[1:]) == 0
 
 
 def test_journal_pages_never_stay_valid(journal_env):
@@ -33,7 +33,7 @@ def test_journal_pages_never_stay_valid(journal_env):
     import numpy as np
     from repro.flash.address import PageState
 
-    assert np.count_nonzero(array.page_state == PageState.VALID) == 0
+    assert np.count_nonzero(array.page_state_np == PageState.VALID) == 0
 
 
 def test_journal_ring_recycles(journal_env):

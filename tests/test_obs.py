@@ -266,5 +266,5 @@ def test_counters_reset_in_place():
     counters.reset()
     assert counters.programs == 0
     assert counters.plane_ops is plane_ops  # same arrays, zeroed
-    assert counters.plane_ops.sum() == 0
+    assert sum(counters.plane_ops) == 0
     assert counters.total_ops == 0

@@ -28,9 +28,9 @@ def churn(ftl, n=2000, seed=77):
 def test_rebuild_recovers_exact_mapping(small_geometry, timing, name):
     ftl = create_ftl(name, small_geometry, timing)
     churn(ftl)
-    before = ftl.page_table.copy()
+    before = ftl.page_table_np.copy()
     recovered = ftl.rebuild_mapping()
-    assert np.array_equal(ftl.page_table, before)
+    assert np.array_equal(ftl.page_table_np, before)
     assert recovered == int(np.count_nonzero(before != -1))
     ftl.verify_integrity()
 
@@ -38,17 +38,16 @@ def test_rebuild_recovers_exact_mapping(small_geometry, timing, name):
 def test_rebuild_recovers_gtd(small_geometry, timing):
     ftl = create_ftl("dloop", small_geometry, timing, cmt_entries=64)
     churn(ftl)
-    gtd_before = ftl.gtd._tpage_ppn.copy()
+    gtd_view = np.frombuffer(ftl.gtd._tpage_ppn, dtype=np.int64)
+    gtd_before = gtd_view.copy()
     # corrupt the SRAM state, then recover
-    ftl.page_table.fill(-1)
-    ftl.gtd._tpage_ppn.fill(-1)
+    ftl.page_table_np.fill(-1)
+    gtd_view.fill(-1)
     ftl.rebuild_mapping()
     # every materialised translation page found again
+    assert np.array_equal(gtd_view != -1, gtd_before != -1)
     assert np.array_equal(
-        ftl.gtd._tpage_ppn != -1, gtd_before != -1
-    )
-    assert np.array_equal(
-        ftl.gtd._tpage_ppn[gtd_before != -1], gtd_before[gtd_before != -1]
+        gtd_view[gtd_before != -1], gtd_before[gtd_before != -1]
     )
     ftl.verify_integrity()
 

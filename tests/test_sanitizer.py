@@ -144,7 +144,7 @@ class TestInjectedViolations:
         ssd, sanitizer = watched
         ftl = ssd.ftl
         lpn = int(ftl.mapped_lpns()[0])
-        free_ppns = np.flatnonzero(ftl.array.page_state == PageState.FREE)
+        free_ppns = np.flatnonzero(ftl.array.page_state_np == PageState.FREE)
         ftl.page_table[lpn] = int(free_ppns[-1])  # point a live lpn at a FREE page
         expect_rule("mapping-coherence", sanitizer.check_now)
 
@@ -184,7 +184,7 @@ class TestInjectedViolations:
 
     def test_reprogram_of_valid_page(self, watched):
         ssd, sanitizer = watched
-        ppn = int(np.flatnonzero(ssd.ftl.array.page_state == PageState.VALID)[0])
+        ppn = int(np.flatnonzero(ssd.ftl.array.page_state_np == PageState.VALID)[0])
         block = ppn // ssd.geometry.pages_per_block
         # rewind the shadow write pointer so only the state check can fire
         sanitizer._shadow_ptr[block] = ppn % ssd.geometry.pages_per_block
@@ -227,7 +227,7 @@ class TestInjectedViolations:
         ssd, sanitizer = watched
         ftl = ssd.ftl
         lpn = int(ftl.mapped_lpns()[0])
-        free_ppns = np.flatnonzero(ftl.array.page_state == PageState.FREE)
+        free_ppns = np.flatnonzero(ftl.array.page_state_np == PageState.FREE)
         ftl.page_table[lpn] = int(free_ppns[-1])
         err = expect_rule("mapping-coherence", sanitizer.check_now)
         assert err.snapshot["lpn"] == lpn

@@ -116,10 +116,10 @@ def test_inter_plane_copy_counts_read_and_program(clock):
 def test_reset_measurements_zeros_everything(clock):
     clock.program_page(0, 0.0)
     clock.reset_measurements()
-    assert clock.plane_free.max() == 0.0
-    assert clock.channel_free.max() == 0.0
+    assert max(clock.plane_free) == 0.0
+    assert max(clock.channel_free) == 0.0
     assert clock.counters.programs == 0
-    assert clock.counters.plane_ops.sum() == 0
+    assert sum(clock.counters.plane_ops) == 0
 
 
 def test_quiesce_time(clock):
@@ -198,4 +198,4 @@ def test_die_aware_reset(timing):
     clock = FlashTimekeeper(geom, timing, die_aware=True)
     clock.program_page(0, 0.0)
     clock.reset_measurements()
-    assert clock.die_bus_free.max() == 0.0
+    assert max(clock.die_bus_free) == 0.0
