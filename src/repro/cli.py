@@ -5,6 +5,7 @@ The subcommands cover the library's workflows end to end::
     repro-sim simulate  --ftl dloop --workload financial1 ...   # one run
     repro-sim simulate  --trace run.json --stats-interval-ms 50 # + observability
     repro-sim simulate  --sanitize ...                          # + invariant checks
+    repro-sim simulate  --faults --crash-at-ms 500 ...          # + faults / power loss
     repro-sim simulate  --profile run.pstats ...                # + cProfile
     repro-sim tracegen  --workload tpcc --out trace.spc ...     # save a trace
     repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
@@ -51,6 +52,36 @@ def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--page-kb", type=float, default=2.0, help="flash page size (KB)")
     parser.add_argument("--extra-pct", type=float, default=3.0, help="extra (over-provisioned) blocks %%")
     parser.add_argument("--channels", type=int, default=8)
+
+
+def _build_fault_config(args):
+    """FaultConfig from the ``--faults``/``--fault-*`` flags, or None.
+
+    ``--faults`` enables the moderate preset; any explicit rate flag
+    overrides its field (and implies fault injection by itself).
+    """
+    overrides = {
+        key: value
+        for key, value in (
+            ("program_fail_rate", args.fault_program_rate),
+            ("erase_fail_rate", args.fault_erase_rate),
+            ("read_error_rate", args.fault_read_rate),
+            ("read_uncorrectable_rate", args.fault_uncorrectable_rate),
+        )
+        if value is not None
+    }
+    if not args.faults and not overrides:
+        return None
+    import dataclasses
+
+    from repro.faults import FaultConfig
+
+    base = (
+        FaultConfig.moderate(args.fault_seed)
+        if args.faults
+        else FaultConfig(seed=args.fault_seed)
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -120,13 +151,19 @@ def cmd_simulate(args) -> int:
         if args.stats_interval_ms is not None
         else None
     )
+    faults = _build_fault_config(args)
+    if args.crash_at_ms is not None and args.crash_at_ms <= 0:
+        raise SystemExit("--crash-at-ms must be > 0")
+    crash_at_us = args.crash_at_ms * 1000.0 if args.crash_at_ms is not None else None
+    if args.iodepth and crash_at_us is not None:
+        raise SystemExit("--crash-at-ms is not supported with --iodepth")
     if args.iodepth:
         from repro.controller.closedloop import ClosedLoopDriver
         from repro.controller.device import SimulatedSSD as _SSD
 
         ssd = _SSD(config.geometry, config.timing, ftl=config.ftl,
                    stats_interval_us=stats_interval_us, sanitize=args.sanitize,
-                   **config.build_kwargs())
+                   faults=faults, **config.build_kwargs())
         if config.precondition_fill:
             ssd.precondition(config.precondition_fill)
         page = config.geometry.page_size
@@ -157,7 +194,7 @@ def cmd_simulate(args) -> int:
         result = run_simulation(
             trace, config, trace_name=trace_name,
             trace_path=args.trace, stats_interval_us=stats_interval_us,
-            sanitize=args.sanitize,
+            sanitize=args.sanitize, faults=faults, crash_at_us=crash_at_us,
         )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
@@ -179,6 +216,16 @@ def cmd_simulate(args) -> int:
     sanitizer_report = result.extras.get("sanitizer")
     if sanitizer_report:
         rows += [{"metric": f"sanitizer: {k}", "value": v} for k, v in sanitizer_report.items()]
+    fault_report = result.extras.get("faults")
+    if fault_report:
+        rows += [{"metric": f"faults: {k}", "value": v}
+                 for k, v in fault_report.items() if k != "sites"]
+    crash_report = result.extras.get("crash")
+    if crash_report:
+        rows += [{"metric": f"crash: {k}", "value": v} for k, v in crash_report.items()]
+    if result.extras.get("failed_requests"):
+        rows.append({"metric": "failed requests",
+                     "value": result.extras["failed_requests"]})
     capacity_mb = geometry.capacity_bytes / MB
     print(format_table(rows, title=f"{config.ftl} on {trace_name} ({capacity_mb:g} MB SSD)"))
     if args.trace:
@@ -369,6 +416,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--sanitize", action="store_true",
                      help="run under the FTL invariant sanitizer (fails fast on "
                           "any mapping/GC/ordering violation; see docs/static-analysis.md)")
+    sim.add_argument("--faults", action="store_true",
+                     help="enable deterministic fault injection "
+                          "(moderate preset; see repro.faults)")
+    sim.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for the fault plan (default 0)")
+    sim.add_argument("--fault-program-rate", type=float, default=None,
+                     help="program-failure probability per page program")
+    sim.add_argument("--fault-erase-rate", type=float, default=None,
+                     help="erase-failure probability per block erase")
+    sim.add_argument("--fault-read-rate", type=float, default=None,
+                     help="correctable read-error probability per page read")
+    sim.add_argument("--fault-uncorrectable-rate", type=float, default=None,
+                     help="uncorrectable (page-loss) probability per page read")
+    sim.add_argument("--crash-at-ms", type=float, default=None,
+                     help="power-fail at this simulated time (ms), recover "
+                          "from flash metadata, then resume the trace")
     sim.add_argument("--profile", metavar="OUT.pstats",
                      help="cProfile the run loop and dump stats "
                           "(inspect with `python -m pstats` or snakeviz)")

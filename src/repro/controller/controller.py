@@ -18,7 +18,7 @@ from typing import List
 
 import numpy as np
 
-from repro.ftl.base import Ftl
+from repro.ftl.base import Ftl, OutOfSpaceError
 from repro.obs.tracebus import BUS
 from repro.sim.engine import Engine
 from repro.sim.request import IoOp, IoRequest
@@ -34,6 +34,14 @@ class RequestStats:
     pages_read: int = 0
     pages_written: int = 0
     pages_trimmed: int = 0
+    #: requests failed with an error status (end-of-life ENOSPC)
+    failed_requests: int = 0
+    #: requests that needed at least one media retry (fault injection)
+    retried_requests: int = 0
+    #: total media retries across all requests
+    total_retries: int = 0
+    #: pages lost to uncorrectable read errors
+    lost_pages: int = 0
 
     @property
     def count(self) -> int:
@@ -89,16 +97,49 @@ class Controller:
         now = self.engine.now
         if BUS.enabled:
             BUS.counter("queue_depth", now, {"outstanding": self.outstanding})
+        faults = self.ftl.faults
+        if faults is not None:
+            retries_before = faults.stats.read_retries + faults.stats.program_failures
+            lost_before = self.ftl.stats.lost_pages
         completion = now
-        if request.op is IoOp.WRITE:
-            completion = max(completion, self.backend.write_pages(request.lpns, now))
-            self.stats.pages_written += request.page_count
-        elif request.op is IoOp.TRIM:
-            completion = max(completion, self.ftl.trim_pages(request.lpns, now))
-            self.stats.pages_trimmed += request.page_count
-        else:
-            completion = max(completion, self.backend.read_pages(request.lpns, now))
-            self.stats.pages_read += request.page_count
+        try:
+            if request.op is IoOp.WRITE:
+                completion = max(completion, self.backend.write_pages(request.lpns, now))
+                self.stats.pages_written += request.page_count
+            elif request.op is IoOp.TRIM:
+                completion = max(completion, self.ftl.trim_pages(request.lpns, now))
+                self.stats.pages_trimmed += request.page_count
+            else:
+                completion = max(completion, self.backend.read_pages(request.lpns, now))
+                self.stats.pages_read += request.page_count
+        except OutOfSpaceError as exc:
+            # End of life: the device cannot place this request.  A real
+            # drive returns an error status per request, it does not
+            # brick — fail this one and keep serving the queue.  Pages
+            # already placed before the error stay placed.
+            request.error = str(exc) or "out of space"
+            self.stats.failed_requests += 1
+            if BUS.enabled:
+                BUS.emit(
+                    "host", "io_error", now, 0.0,
+                    {"lpn": request.start_lpn, "pages": request.page_count,
+                     "op": request.op.value, "error": request.error},
+                    "host:0", "i",
+                )
+        if faults is not None:
+            request.retries = (
+                faults.stats.read_retries + faults.stats.program_failures
+            ) - retries_before
+            request.lost_pages = self.ftl.stats.lost_pages - lost_before
+            if request.retries:
+                self.stats.retried_requests += 1
+                self.stats.total_retries += request.retries
+            if request.lost_pages:
+                self.stats.lost_pages += request.lost_pages
+            # Blocks that crossed the program-failure threshold while
+            # serving this request are retired here, between requests —
+            # never mid-write (mirrors a controller's background task).
+            completion = self.ftl.drain_retirements(completion)
         request.completion_us = completion
         self.engine.schedule_at(completion, self._complete, request)
 
@@ -106,12 +147,21 @@ class Controller:
         self.outstanding -= 1
         response = request.response_us
         if BUS.enabled:
+            args = {"lpn": request.start_lpn, "pages": request.page_count}
+            # Only set under fault injection — the fault-free trace
+            # stays byte-identical.
+            if request.error is not None:
+                args["error"] = request.error
+            if request.retries:
+                args["retries"] = request.retries
+            if request.lost_pages:
+                args["lost_pages"] = request.lost_pages
             BUS.emit(
                 "host",
                 request.op.value,
                 request.arrival_us,
                 response,
-                {"lpn": request.start_lpn, "pages": request.page_count},
+                args,
                 "host:0",
             )
             BUS.counter("queue_depth", self.engine.now, {"outstanding": self.outstanding})

@@ -19,6 +19,8 @@ from repro.sim.request import IoOp, IoRequest
 
 if TYPE_CHECKING:
     from repro.controller.writebuffer import WriteBuffer
+    from repro.faults import FaultConfig, FaultInjector
+    from repro.flash.badblocks import BadBlockManager
     from repro.lint.sanitizer import SimSanitizer
 
 
@@ -36,6 +38,8 @@ class SimulatedSSD:
         telemetry_interval_us: Optional[float] = None,
         stats_interval_us: Optional[float] = None,
         sanitize: bool = False,
+        faults: Optional["FaultConfig"] = None,
+        bad_blocks=None,
         **ftl_kwargs,
     ):
         self.geometry = geometry if geometry is not None else SSDGeometry()
@@ -45,6 +49,28 @@ class SimulatedSSD:
             self.ftl: Ftl = ftl
         else:
             self.ftl = create_ftl(ftl, self.geometry, self.timing, **ftl_kwargs)
+        # Wear-out/factory bad-block model; attached before any traffic
+        # so factory-bad sampling sees the fresh array.  ``bad_blocks``
+        # may be True (defaults) or a dict of BadBlockManager kwargs.
+        self.bad_blocks: Optional["BadBlockManager"] = None
+        if bad_blocks:
+            from repro.flash.badblocks import BadBlockManager
+
+            bb_kwargs = bad_blocks if isinstance(bad_blocks, dict) else {}
+            self.bad_blocks = BadBlockManager(self.ftl.array, **bb_kwargs)
+        # Deterministic fault injection (repro.faults).  ``faults`` is a
+        # FaultConfig (or a dict of its fields); None keeps every fault
+        # seam on its zero-cost path.
+        self.faults: Optional["FaultInjector"] = None
+        if faults is not None:
+            from repro.faults import FaultConfig, FaultInjector, FaultPlan
+
+            if isinstance(faults, dict):
+                faults = FaultConfig(**faults)
+            self.faults = FaultInjector(
+                self.ftl.array, self.ftl.clock, FaultPlan(faults)
+            )
+            self.ftl.attach_faults(self.faults)
         self.write_buffer: Optional["WriteBuffer"] = None
         backend = self.ftl
         if write_buffer_pages is not None:
@@ -160,10 +186,62 @@ class SimulatedSSD:
         recovered mappings.  (An unflushed write buffer is lost data —
         flush first if that matters to the experiment.)"""
         if self.write_buffer is not None:
-            self.write_buffer._dirty.clear()
-        recovered = self.ftl.rebuild_mapping()
+            self.write_buffer.discard()
+        recovered = self.ftl.recover()
         self.ftl.clock.reset_measurements()
         return recovered
+
+    def crash(self) -> dict:
+        """Power-fail the device *now* and recover it.
+
+        Everything a real controller keeps in volatile memory vanishes:
+        queued/in-flight engine events, the DRAM write buffer, mapping
+        caches, allocator cursors, and not-yet-persisted fault
+        bookkeeping.  The mapping is then rebuilt from on-flash OOB
+        owner metadata (plus the MapJournal for hybrid FTLs) and, when
+        a sanitizer is attached, validated against its shadow model.
+
+        Returns a summary dict; the device is usable afterwards
+        (submit more requests and ``run()`` again).
+        """
+        from repro.obs.tracebus import BUS
+
+        now = self.engine.now
+        dropped = self.engine.clear_pending()
+        self.controller.outstanding = 0
+        lost_buffered = 0
+        if self.write_buffer is not None:
+            lost_buffered = self.write_buffer.discard()
+        recovered = self.ftl.recover()
+        if self.sanitizer is not None:
+            self.sanitizer.check_now()
+        sampler = getattr(self, "_sampler", None)
+        if sampler is not None:
+            # its armed tick was dropped with the rest of the queue
+            sampler.rearm()
+        if BUS.enabled:
+            BUS.emit(
+                "host", "power_loss", now, 0.0,
+                {"dropped_events": dropped, "lost_buffered": lost_buffered,
+                 "recovered": recovered}, "host:0", "i",
+            )
+        return {
+            "at_us": now,
+            "dropped_events": dropped,
+            "lost_buffered_pages": lost_buffered,
+            "recovered_mappings": recovered,
+        }
+
+    def run_with_crash(self, requests: Iterable[IoRequest], crash_at_us: float) -> dict:
+        """Run until ``crash_at_us``, then power-fail and recover.
+
+        Requests still in flight (or not yet arrived) at the crash
+        instant are lost, exactly as on a real power cut.  Returns the
+        :meth:`crash` summary.
+        """
+        self.controller.submit_many(requests)
+        self.engine.run(until=crash_at_us)
+        return self.crash()
 
     def flush(self) -> float:
         """Drain the write buffer (no-op without one)."""

@@ -101,5 +101,12 @@ class WriteBuffer:
             self.stats.flushes += 1
         return t
 
+    def discard(self) -> int:
+        """Drop every buffered page unwritten (power loss: controller
+        DRAM is volatile).  Returns the number of pages lost."""
+        lost = len(self._dirty)
+        self._dirty.clear()
+        return lost
+
     def buffered_lpns(self) -> list:
         return list(self._dirty)

@@ -34,6 +34,7 @@ class DloopFtl(Ftl):
     """The paper's plane-parallel page-mapping FTL."""
 
     name = "dloop"
+    fault_injection_supported = True
 
     def __init__(
         self,
@@ -79,6 +80,29 @@ class DloopFtl(Ftl):
         counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
         return self.allocators[max(range(self.num_planes), key=lambda p: counts[p])]
 
+    # ---- fault injection -----------------------------------------------------
+
+    def _all_allocators(self):
+        return self.allocators
+
+    def attach_faults(self, injector) -> None:
+        super().attach_faults(injector)
+        self.tm.faults = injector
+
+    def _fault_relocation_alloc(self, owner: int, src_plane: int) -> int:
+        # Relocations off a retiring block stay on its plane when it has
+        # space (preserving copy-back eligibility for later GC), roaming
+        # only when the plane is full.
+        try:
+            return self._gc_destination_allocator(src_plane).allocate(owner)
+        except FlashStateError:
+            return self._gc_alloc_any(owner)
+
+    def _note_page_loss(self, lpn: int, now: float) -> float:
+        # The cleared mapping must persist to its translation page,
+        # exactly like a TRIM.
+        return self.tm.charge_update(lpn, now)
+
     # ---- allocator hooks (overridden by the hot/cold variant) -----------------
 
     def _host_allocator(self, plane: int, lpn: int) -> PlaneAllocator:
@@ -108,7 +132,10 @@ class DloopFtl(Ftl):
             # Never-written page: nothing on flash to read.
             self.stats.unmapped_reads += 1
             return t
-        t = self.clock.read_page(self.codec.ppn_to_plane(ppn), t)
+        if self.faults is None:
+            t = self.clock.read_page(self.codec.ppn_to_plane(ppn), t)
+        else:
+            t = self._fault_read_data(lpn, ppn, t)
         self._maybe_debug_check()
         return t
 
@@ -119,15 +146,34 @@ class DloopFtl(Ftl):
         t = self.tm.charge_lookup(lpn, start)
         # Reclaim space *before* taking a page so the pool never empties
         # under the incoming write.
-        t = self._maybe_gc(plane, t)
-        old_ppn = self.current_ppn(lpn)
         try:
-            new_ppn = self._host_allocator(plane, lpn).allocate(lpn)
+            t = self._maybe_gc(plane, t)
         except FlashStateError as exc:
+            # GC itself ran out of destination space: the plane cannot
+            # absorb this write.  Partial collections are consistent
+            # (moved pages are already remapped), so fail per-request.
             raise OutOfSpaceError(
-                f"plane {plane}: cannot place write for lpn {lpn} — device full"
+                f"plane {plane}: cannot reclaim space for lpn {lpn} — device full"
             ) from exc
-        t = self.clock.program_page(plane, t)
+        old_ppn = self.current_ppn(lpn)
+        faults = self.faults
+        if faults is None:
+            try:
+                new_ppn = self._host_allocator(plane, lpn).allocate(lpn)
+            except FlashStateError as exc:
+                raise OutOfSpaceError(
+                    f"plane {plane}: cannot place write for lpn {lpn} — device full"
+                ) from exc
+            t = self.clock.program_page(plane, t)
+        else:
+            # Fault-aware path: a failed program burns the page and
+            # retries on the same plane (the allocator is plane-bound).
+            try:
+                new_ppn, t = faults.program(self._host_allocator(plane, lpn), lpn, t)
+            except FlashStateError as exc:
+                raise OutOfSpaceError(
+                    f"plane {plane}: cannot place write for lpn {lpn} — device full"
+                ) from exc
         if old_ppn != -1:
             self.array.invalidate(old_ppn)
         self.page_table[lpn] = new_ppn
@@ -231,18 +277,34 @@ class DloopFtl(Ftl):
                 self.gc_stats.controller_moves += 1
             elif self.use_copyback:
                 parity = self.codec.page_parity(ppn)
-                try:
-                    new_ppn, skipped = allocator.allocate_with_parity(owner, parity)
-                except FlashStateError:
-                    overflow = True
-                    new_ppn = self._gc_alloc_any(owner)
-                    t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
-                    self.gc_stats.controller_moves += 1
+                faults = self.faults
+                if faults is None:
+                    try:
+                        new_ppn, skipped = allocator.allocate_with_parity(owner, parity)
+                    except FlashStateError:
+                        overflow = True
+                        new_ppn = self._gc_alloc_any(owner)
+                        t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                        self.gc_stats.controller_moves += 1
+                    else:
+                        self.gc_stats.wasted_pages += skipped
+                        self.clock.counters.skipped_pages += skipped
+                        t = self.clock.copy_back(plane, t)
+                        self.gc_stats.copyback_moves += 1
                 else:
-                    self.gc_stats.wasted_pages += skipped
-                    self.clock.counters.skipped_pages += skipped
-                    t = self.clock.copy_back(plane, t)
-                    self.gc_stats.copyback_moves += 1
+                    # Fault-aware copy-back: failed programs burn pages
+                    # and retry at the next same-parity page, same plane.
+                    try:
+                        new_ppn, skipped, t = faults.copyback(allocator, owner, parity, t)
+                    except FlashStateError:
+                        overflow = True
+                        new_ppn = self._gc_alloc_any(owner)
+                        t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
+                        self.gc_stats.controller_moves += 1
+                    else:
+                        self.gc_stats.wasted_pages += skipped
+                        self.clock.counters.skipped_pages += skipped
+                        self.gc_stats.copyback_moves += 1
             else:
                 try:
                     new_ppn = allocator.allocate(owner)
@@ -269,6 +331,8 @@ class DloopFtl(Ftl):
         # low-water mark here, and the write-backs themselves consume pages.
         t = self.clock.erase_block(plane, t)
         self.array.erase(victim)
+        if self.faults is not None:
+            self.faults.check_erase(victim)
         self.array.release_block(victim)
         self.gc_stats.erased_blocks += 1
         if moved_data:

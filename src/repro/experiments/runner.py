@@ -84,6 +84,8 @@ def run_simulation(
     trace_path: Optional[str] = None,
     stats_interval_us: Optional[float] = None,
     sanitize: bool = False,
+    faults=None,
+    crash_at_us: Optional[float] = None,
 ) -> SimulationResult:
     """Replay a trace through a freshly built (and preconditioned) SSD.
 
@@ -93,7 +95,12 @@ def run_simulation(
     folds its scalar digest into ``result.extras['run_stats']``;
     ``sanitize`` runs the whole simulation under the runtime invariant
     checker (see :mod:`repro.lint.sanitizer`) and folds its counter
-    report into ``result.extras['sanitizer']``.
+    report into ``result.extras['sanitizer']``;
+    ``faults`` is a :class:`repro.faults.FaultConfig` enabling
+    deterministic fault injection (``result.extras['faults']``);
+    ``crash_at_us`` power-fails the device at that simulated time,
+    recovers it, then replays the rest of the trace on the recovered
+    device (``result.extras['crash']``).
     """
     wall_start = time.perf_counter()  # dl: disable=DL101 — host wall-time metric, not sim state
     ssd = SimulatedSSD(
@@ -102,6 +109,7 @@ def run_simulation(
         ftl=config.ftl,
         stats_interval_us=stats_interval_us,
         sanitize=sanitize,
+        faults=faults,
         **config.build_kwargs(),
     )
     if config.precondition_fill:
@@ -114,15 +122,29 @@ def run_simulation(
         size = min(r.size_bytes, capacity - offset)
         op = IoOp.WRITE if r.is_write else IoOp.READ
         requests.append(ssd.byte_request(r.arrival_us, offset, size, op))
+    extras: dict = {}
+
+    def _drive() -> float:
+        if crash_at_us is None:
+            return ssd.run(requests)
+        # Power-fail mid-trace: requests in flight at the crash instant
+        # are lost; the host "resumes" the remainder of the trace on the
+        # recovered device.
+        survivors = [r for r in requests if r.arrival_us >= crash_at_us]
+        extras["crash"] = ssd.run_with_crash(
+            [r for r in requests if r.arrival_us < crash_at_us], crash_at_us
+        )
+        return ssd.run(survivors)
+
     if trace_path is not None:
         from repro.obs.chrome_trace import ChromeTraceWriter
 
         # Attach after preconditioning so the trace shows the measured
         # run, not the bulk fill.
         with ChromeTraceWriter(trace_path).recording():
-            end = ssd.run(requests)
+            end = _drive()
     else:
-        end = ssd.run(requests)
+        end = _drive()
 
     ftl = ssd.ftl
     stats = ssd.stats
@@ -134,11 +156,16 @@ def run_simulation(
     def ms(values: List[float]) -> float:
         return float(np.mean(values)) / 1000.0 if values else 0.0
 
-    extras: dict = {}
     if ssd.run_stats is not None:
         extras["run_stats"] = ssd.run_stats.summary()
     if ssd.sanitizer is not None:
         extras["sanitizer"] = ssd.sanitizer.finalize()
+    if ssd.faults is not None:
+        extras["faults"] = ssd.faults.stats.as_dict()
+        extras["faults"]["retried_requests"] = stats.retried_requests
+        extras["faults"]["total_retries"] = stats.total_retries
+    if stats.failed_requests:
+        extras["failed_requests"] = stats.failed_requests
 
     return SimulationResult(
         extras=extras,

@@ -1,0 +1,18 @@
+"""repro.faults: seeded, deterministic fault injection (PR 4).
+
+Construct a :class:`FaultConfig`, wrap it in a :class:`FaultPlan`, and
+hand it to ``SimulatedSSD(faults=...)`` (or ``repro-sim simulate
+--faults``).  All decisions derive from the seed — same seed + config +
+workload ⇒ identical fault sites and final fingerprints.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import READ_LOST, FaultConfig, FaultPlan, FaultStats
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "READ_LOST",
+]

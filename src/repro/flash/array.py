@@ -25,8 +25,8 @@ side, both see it.
 When the trace bus is enabled, every state transition additionally
 publishes an ``array``-category instant event (``program`` /
 ``invalidate`` / ``skip`` / ``erase`` / ``alloc_block`` /
-``release_block`` / ``bulk_fill`` / ``mark_bad``) carrying the PPN or
-block id.  These events are *timeless* (the array holds no clock, so
+``release_block`` / ``bulk_fill`` / ``mark_bad`` / ``retire_block``)
+carrying the PPN or block id.  These events are *timeless* (the array holds no clock, so
 ``ts_us`` is 0) and exist for state validators — the runtime sanitizer
 (:mod:`repro.lint.sanitizer`) rebuilds an independent shadow NAND model
 from them; the Chrome-trace exporter filters them out.
@@ -97,6 +97,15 @@ class FlashArray:
         #: Optional callable ``block -> bool``; True retires the block at
         #: release time instead of pooling it (end-of-life wear-out).
         self.retirement_policy = None
+        #: Blocks flagged for unconditional retirement at release time
+        #: (erase failure injected by ``repro.faults``); checked before
+        #: ``retirement_policy`` so a failing block always leaves
+        #: circulation regardless of wear state.
+        self.force_retire: set = set()
+        #: O(1) running total of bad blocks (factory + retired); the
+        #: equivalent ``np.count_nonzero`` scan is too slow for
+        #: per-sample telemetry.
+        self.bad_block_total = 0
 
         # Low-watermark tracking: when an FTL registers its GC threshold,
         # the array counts planes whose free pool sits below it, updated
@@ -145,8 +154,12 @@ class FlashArray:
             raise FlashStateError(f"block {block} already in free pool")
         if self.block_write_ptr[block] != 0:
             raise FlashStateError(f"block {block} must be erased before release")
-        if self.retirement_policy is not None and self.retirement_policy(block):
+        if (block in self.force_retire) or (
+            self.retirement_policy is not None and self.retirement_policy(block)
+        ):
+            self.force_retire.discard(block)
             self._block_is_bad[block] = 1
+            self.bad_block_total += 1
             if BUS.enabled:
                 BUS.emit("array", "release_block", 0.0, 0.0,
                          {"block": block, "retired": True}, None, "i")
@@ -170,10 +183,33 @@ class FlashArray:
         pool.remove(block)
         self._block_is_free[block] = 0
         self._block_is_bad[block] = 1
+        self.bad_block_total += 1
         if len(pool) + 1 == self._gc_threshold:  # crossed below the watermark
             self.gc_low_plane_count += 1
         if BUS.enabled:
             BUS.emit("array", "mark_bad", 0.0, 0.0, {"block": block}, None, "i")
+
+    def retire_block(self, block: int) -> None:
+        """Retire an in-use block whose valid pages have been relocated.
+
+        Runtime (mid-life) retirement after a program failure: the block
+        is *not* erased — its media is no longer trusted — so any
+        invalid pages simply stay invalid forever.  The FTL must have
+        moved all valid data out first.
+        """
+        if self._block_is_free[block]:
+            raise FlashStateError(f"cannot runtime-retire pooled free block {block}")
+        if self._block_is_bad[block]:
+            raise FlashStateError(f"block {block} already retired")
+        if self.block_valid[block] != 0:
+            raise FlashStateError(
+                f"runtime retirement of block {block} with {self.block_valid[block]} valid pages"
+            )
+        self.force_retire.discard(block)
+        self._block_is_bad[block] = 1
+        self.bad_block_total += 1
+        if BUS.enabled:
+            BUS.emit("array", "retire_block", 0.0, 0.0, {"block": block}, None, "i")
 
     def is_block_bad(self, block: int) -> bool:
         return bool(self._block_is_bad[block])
@@ -183,7 +219,7 @@ class FlashArray:
         return self._block_is_bad_np
 
     def bad_block_count(self) -> int:
-        return int(np.count_nonzero(self._block_is_bad_np))
+        return self.bad_block_total
 
     def is_block_free(self, block: int) -> bool:
         return bool(self._block_is_free[block])

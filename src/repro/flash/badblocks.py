@@ -25,6 +25,8 @@ from repro.flash.array import FlashArray
 class BadBlockStats:
     factory_bad: int = 0
     worn_out: int = 0
+    #: blocks retired while allocated (valid pages relocated first)
+    runtime_retired: int = 0
 
 
 class BadBlockManager:
@@ -54,6 +56,9 @@ class BadBlockManager:
         low = rated_cycles * (1.0 - endurance_spread)
         high = rated_cycles * (1.0 + endurance_spread)
         self.endurance = rng.uniform(low, high, size=n_blocks).astype(np.int64)
+        # Precomputed for the telemetry fast path: one fused dot product
+        # per sampler tick instead of boolean-mask temporaries.
+        self._inv_endurance = 1.0 / self.endurance.astype(np.float64)
         # factory bad blocks, sampled before any traffic
         bad = rng.random(n_blocks) < factory_bad_rate
         for block in np.flatnonzero(bad):
@@ -67,15 +72,46 @@ class BadBlockManager:
             return True
         return False
 
+    def retire(self, ftl, block: int, now: float = 0.0) -> float:
+        """Retire ``block`` regardless of its state (runtime scan hit).
+
+        ``mark_bad`` only accepts pooled free blocks; a block found bad
+        while *allocated* — possibly holding valid host data — must
+        first have its surviving pages relocated.  Delegates to the
+        FTL's runtime-retirement path and returns the time after any
+        relocation traffic.
+        """
+        if ftl.array is not self.array:
+            raise ValueError("ftl is not backed by this manager's array")
+        if self.array.is_block_bad(block):
+            return now
+        was_free = self.array.is_block_free(block)
+        t = ftl.retire_block_now(block, now)
+        if not was_free:
+            self.stats.runtime_retired += 1
+        return t
+
     # ---- reporting ---------------------------------------------------------
+    #
+    # Both fractions are sampled every StatsSampler tick, so they must
+    # be cheap: retired_fraction is O(1) off the array's live counter;
+    # remaining_life_fraction is a fused dot product with no boolean
+    # temporaries (bad blocks are rare — their correction term indexes
+    # only when any exist).
 
     def retired_fraction(self) -> float:
         return self.array.bad_block_count() / self.array.geometry.num_physical_blocks
 
     def remaining_life_fraction(self) -> float:
         """Mean unused endurance across live blocks (1.0 = fresh)."""
-        alive = ~self.array.bad_block_mask
-        if not alive.any():
+        n_bad = self.array.bad_block_count()
+        alive = self.array.geometry.num_physical_blocks - n_bad
+        if alive == 0:
             return 0.0
-        used = self.array.block_erase_count_np[alive] / self.endurance[alive]
-        return float(np.clip(1.0 - used, 0.0, 1.0).mean())
+        used = float(np.dot(self.array.block_erase_count_np, self._inv_endurance))
+        if n_bad:
+            bad = self.array.bad_block_mask
+            used -= float(
+                np.dot(self.array.block_erase_count_np[bad], self._inv_endurance[bad])
+            )
+        return min(1.0, max(0.0, 1.0 - used / alive))

@@ -29,6 +29,9 @@ class FlashCounters:
     copybacks: int = 0
     interplane_copies: int = 0
     skipped_pages: int = 0
+    #: extra read sense operations spent on correctable read errors
+    #: (repro.faults); always 0 when fault injection is off
+    read_retries: int = 0
     channel_busy_us: List[float] = field(init=False)
     plane_busy_us: List[float] = field(init=False)
 
@@ -60,6 +63,7 @@ class FlashCounters:
             "copybacks": self.copybacks,
             "interplane_copies": self.interplane_copies,
             "skipped_pages": self.skipped_pages,
+            "read_retries": self.read_retries,
             "plane_ops": self.plane_ops.copy(),
         }
 
@@ -76,6 +80,7 @@ class FlashCounters:
             "copybacks": self.copybacks,
             "interplane_copies": self.interplane_copies,
             "skipped_pages": self.skipped_pages,
+            "read_retries": self.read_retries,
             "total_ops": self.total_ops,
             "copyback_ratio": self.copyback_ratio,
             "plane_ops": [int(x) for x in self.plane_ops],
@@ -91,6 +96,7 @@ class FlashCounters:
         self.copybacks = 0
         self.interplane_copies = 0
         self.skipped_pages = 0
+        self.read_retries = 0
         self.plane_ops[:] = [0] * self.num_planes
         self.plane_busy_us[:] = [0.0] * self.num_planes
         self.channel_busy_us[:] = [0.0] * self.num_channels

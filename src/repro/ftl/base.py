@@ -42,12 +42,18 @@ class FtlStats:
     host_writes: int = 0
     host_trims: int = 0
     unmapped_reads: int = 0
+    #: pages lost to uncorrectable read errors (repro.faults)
+    lost_pages: int = 0
 
 
 class Ftl(abc.ABC):
     """Base class for all flash translation layers."""
 
     name = "abstract"
+    #: Whether this FTL has fault-injection seams (repro.faults).  FTLs
+    #: without them reject ``attach_faults`` rather than silently run a
+    #: fault plan that can never fire.
+    fault_injection_supported = False
 
     def __init__(
         self,
@@ -85,6 +91,10 @@ class Ftl(abc.ABC):
         self.gc_stats = GcStats()
         self._gc_planes: set[int] = set()
         self._gc_pending: set[int] = set()
+        #: FaultInjector when fault injection is active, else None.  Hot
+        #: paths guard with a single ``is None`` check so fault-free runs
+        #: execute the exact original operation sequence.
+        self.faults = None
 
     # ---- host interface ---------------------------------------------------
 
@@ -357,11 +367,132 @@ class Ftl(abc.ABC):
             self._gc_note_move(owner, new_ppn, moved_data)
         t = self.clock.erase_block(plane, t)
         self.array.erase(victim)
+        if self.faults is not None:
+            self.faults.check_erase(victim)
         self.array.release_block(victim)
         self.gc_stats.erased_blocks += 1
         t = self._gc_mapping_updates(moved_data, t)
         self.gc_stats.emergency_passes += 1
         return t
+
+    # ---- fault injection (repro.faults) -----------------------------------------
+
+    def _all_allocators(self):
+        """Every write-point allocator (cursor reset on retirement/crash)."""
+        return ()
+
+    def attach_faults(self, injector) -> None:
+        """Activate fault injection; instrumented sites start consulting
+        the injector's :class:`~repro.faults.plan.FaultPlan`."""
+        if not self.fault_injection_supported:
+            raise ValueError(
+                f"FTL {self.name!r} has no fault-injection seams; "
+                "use dloop, dftl, or fast"
+            )
+        self.faults = injector
+
+    def _fault_relocation_alloc(self, owner: int, src_plane: int) -> int:
+        """Destination for a page relocated off a retiring block.
+
+        Default: anywhere with space.  DLOOP overrides to prefer the
+        source plane (copy-back eligibility, Section III.B).
+        """
+        return self._gc_alloc_any(owner)
+
+    def _retire_block_runtime(self, block: int, now: float) -> float:
+        """Relocate surviving valid pages off ``block`` and retire it.
+
+        The runtime bad-block path: after repeated program failures (or
+        an external bad-block scan) a still-allocated block with live
+        data leaves circulation.  Mapping updates are charged *after*
+        the block is retired so any GC they trigger cannot re-select it.
+        """
+        t = now
+        src_plane = self.codec.block_to_plane(block)
+        for allocator in self._all_allocators():
+            if allocator.current_block == block:
+                allocator.current_block = None
+        moved_data: list = []
+        for ppn in list(self.array.valid_pages_in_block(block)):
+            owner = self.array.owner_of(ppn)
+            new_ppn = self._fault_relocation_alloc(owner, src_plane)
+            dst_plane = self.codec.ppn_to_plane(new_ppn)
+            t = self.clock.inter_plane_copy(src_plane, dst_plane, t)
+            self.gc_stats.controller_moves += 1
+            self.gc_stats.moved_pages += 1
+            self.array.invalidate(ppn)
+            self._gc_note_move(owner, new_ppn, moved_data)
+            if self.faults is not None:
+                self.faults.stats.relocated_pages += 1
+            if BUS.enabled:
+                BUS.emit("fault", "relocate", t, 0.0,
+                         {"block": block, "from_ppn": int(ppn),
+                          "to_ppn": int(new_ppn), "src_plane": src_plane,
+                          "dst_plane": dst_plane}, None, "i")
+        self.array.retire_block(block)
+        if self.faults is not None:
+            self.faults.stats.blocks_retired += 1
+        if BUS.enabled:
+            BUS.emit("fault", "block_retired", t, 0.0,
+                     {"block": block, "plane": src_plane}, None, "i")
+        return self._gc_mapping_updates(moved_data, t)
+
+    def drain_retirements(self, now: float) -> float:
+        """Process blocks queued for retirement by program failures.
+
+        A device too full to absorb the relocated pages keeps the block
+        in the queue and retries on a later drain (GC may free space in
+        between); retirement must never kill the run.
+        """
+        faults = self.faults
+        if faults is None or not faults.pending_retirements:
+            return now
+        t = now
+        pending = faults.pending_retirements
+        while pending:
+            block = pending.popleft()
+            if self.array.is_block_bad(block):
+                continue  # GC already erased + retired it via force_retire
+            try:
+                t = self._retire_block_runtime(block, t)
+            except OutOfSpaceError:
+                # Partial relocation is safe to resume: moved pages are
+                # already invalidated on the source block.
+                pending.appendleft(block)
+                break
+        return t
+
+    def retire_block_now(self, block: int, now: float = 0.0) -> float:
+        """Retire ``block`` immediately (external bad-block scan).
+
+        Handles every block state: pooled free blocks leave the pool,
+        in-use blocks first have their valid pages relocated.  Returns
+        the time after any relocation traffic.
+        """
+        if self.array.is_block_bad(block):
+            return now
+        if self.array.is_block_free(block):
+            self.array.mark_bad(block)
+            return now
+        return self._retire_block_runtime(block, now)
+
+    def _fault_read_data(self, lpn: int, ppn: int, now: float) -> float:
+        """Fault-aware host data read; unmaps the page on an
+        uncorrectable error (data loss surfaced via ``stats.lost_pages``
+        and the per-request accounting in the controller)."""
+        from repro.faults.plan import READ_LOST
+
+        t, outcome = self.faults.read(self.codec.ppn_to_plane(ppn), now)
+        if outcome == READ_LOST:
+            self.array.invalidate(ppn)
+            self.page_table[lpn] = -1
+            self.stats.lost_pages += 1
+            t = self._note_page_loss(lpn, t)
+        return t
+
+    def _note_page_loss(self, lpn: int, now: float) -> float:
+        """Hook: charge mapping-structure updates for a lost page."""
+        return now
 
     # ---- preconditioning ------------------------------------------------------
 
@@ -415,6 +546,41 @@ class Ftl(abc.ABC):
 
     def _rebuild_extra_state(self, translation_ppns: np.ndarray, translation_owners: np.ndarray) -> None:
         """Hook: restore structures beyond the page table (default none)."""
+
+    def recover(self) -> int:
+        """Full power-loss recovery: drop volatile state, rebuild the
+        mapping from on-flash metadata, then restore derived structures.
+
+        This is what :meth:`SimulatedSSD.crash` runs after halting the
+        simulation; ``rebuild_mapping`` alone models only the scan.
+        Returns the number of recovered data mappings.
+        """
+        self.on_power_loss()
+        recovered = self.rebuild_mapping()
+        self._post_recovery()
+        return recovered
+
+    def on_power_loss(self) -> None:
+        """Discard state a real controller loses at power-off.
+
+        Allocator cursors (the open blocks stay partially written on
+        flash — their free tail is stranded until GC reclaims them), GC
+        scheduling state, and any not-yet-persisted fault bookkeeping
+        (pending retirements revert to normal blocks: the failure marks
+        lived in controller RAM).
+        """
+        self._gc_planes.clear()
+        self._gc_pending.clear()
+        for allocator in self._all_allocators():
+            allocator.current_block = None
+        if self.faults is not None:
+            self.faults.pending_retirements.clear()
+            self.faults._block_fail_counts.clear()
+        self.array.force_retire.clear()
+
+    def _post_recovery(self) -> None:
+        """Hook: rebuild volatile structures ``rebuild_mapping`` does not
+        cover (e.g. FAST's log-block roles)."""
 
     # ---- integrity ------------------------------------------------------------
 

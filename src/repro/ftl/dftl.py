@@ -33,6 +33,7 @@ class DftlFtl(Ftl):
     """Demand-paged page-mapping FTL with plane-0 translation store."""
 
     name = "dftl"
+    fault_injection_supported = True
 
     def __init__(
         self,
@@ -70,6 +71,20 @@ class DftlFtl(Ftl):
             fallback_allocator=lambda: self.data_allocator,
         )
 
+    # ---- fault injection ----------------------------------------------------
+
+    def _all_allocators(self):
+        return (self.data_allocator, self.translation_allocator)
+
+    def attach_faults(self, injector) -> None:
+        super().attach_faults(injector)
+        self.tm.faults = injector
+
+    def _note_page_loss(self, lpn: int, now: float) -> float:
+        # The cleared mapping must persist to its translation page,
+        # exactly like a TRIM.
+        return self.tm.charge_update(lpn, now)
+
     # ---- host interface ---------------------------------------------------
 
     def read_page(self, lpn: int, start: float) -> float:
@@ -80,7 +95,10 @@ class DftlFtl(Ftl):
         if ppn == -1:
             self.stats.unmapped_reads += 1
             return t
-        t = self.clock.read_page(self.codec.ppn_to_plane(ppn), t)
+        if self.faults is None:
+            t = self.clock.read_page(self.codec.ppn_to_plane(ppn), t)
+        else:
+            t = self._fault_read_data(lpn, ppn, t)
         self._maybe_debug_check()
         return t
 
@@ -88,14 +106,27 @@ class DftlFtl(Ftl):
         self.check_lpn(lpn)
         self.stats.host_writes += 1
         t = self.tm.charge_lookup(lpn, start)
-        t = self._maybe_gc(self.data_allocator.peek_plane(), t)
-        old_ppn = self.current_ppn(lpn)
         try:
-            new_ppn = self.data_allocator.allocate(lpn)
+            t = self._maybe_gc(self.data_allocator.peek_plane(), t)
         except FlashStateError as exc:
+            # peek_plane opens a block if none is active; at genuine end
+            # of life even that fails — surface the per-request error.
             raise OutOfSpaceError(f"cannot place write for lpn {lpn} — device full") from exc
-        plane = self.codec.ppn_to_plane(new_ppn)
-        t = self.clock.program_page(plane, t)
+        old_ppn = self.current_ppn(lpn)
+        faults = self.faults
+        if faults is None:
+            try:
+                new_ppn = self.data_allocator.allocate(lpn)
+            except FlashStateError as exc:
+                raise OutOfSpaceError(f"cannot place write for lpn {lpn} — device full") from exc
+            plane = self.codec.ppn_to_plane(new_ppn)
+            t = self.clock.program_page(plane, t)
+        else:
+            try:
+                new_ppn, t = faults.program(self.data_allocator, lpn, t)
+            except FlashStateError as exc:
+                raise OutOfSpaceError(f"cannot place write for lpn {lpn} — device full") from exc
+            plane = self.codec.ppn_to_plane(new_ppn)
         if old_ppn != -1:
             self.array.invalidate(old_ppn)
         self.page_table[lpn] = new_ppn
@@ -196,6 +227,8 @@ class DftlFtl(Ftl):
         # Erase before the translation write-backs (pool low-water mark).
         t = self.clock.erase_block(plane, t)
         self.array.erase(victim)
+        if self.faults is not None:
+            self.faults.check_erase(victim)
         self.array.release_block(victim)
         self.gc_stats.erased_blocks += 1
         if moved_data:

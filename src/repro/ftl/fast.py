@@ -32,6 +32,8 @@ from typing import Deque, Optional, Tuple
 
 import numpy as np
 
+from repro.flash.address import PageState
+from repro.flash.array import FlashStateError
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import TimingParams
 from repro.ftl.base import Ftl, OutOfSpaceError
@@ -51,12 +53,34 @@ class FastStats:
     partial_merges: int = 0
     full_merges: int = 0
     merged_lbns: int = 0
+    #: SW logs whose layout was shifted by program failures and had to
+    #: close via a full-merge-style rebuild instead of switch/partial.
+    shifted_closes: int = 0
+
+
+class _BlockCursor:
+    """Adapter giving one fixed log block the allocator protocol the
+    fault injector drives.  Raises when the block fills (or is abandoned
+    by a retirement decision) so the FTL can demote it and retry."""
+
+    __slots__ = ("array", "current_block")
+
+    def __init__(self, array, block: int):
+        self.array = array
+        self.current_block = block
+
+    def _ensure_block(self) -> int:
+        block = self.current_block
+        if block is None or self.array.block_free_pages(block) == 0:
+            raise FlashStateError("log block exhausted mid-append")
+        return block
 
 
 class FastFtl(Ftl):
     """Fully-associative sector translation hybrid FTL."""
 
     name = "fast"
+    fault_injection_supported = True
 
     def __init__(
         self,
@@ -99,7 +123,10 @@ class FastFtl(Ftl):
         if ppn == -1:
             self.stats.unmapped_reads += 1
             return start
-        t = self.clock.read_page(self.codec.ppn_to_plane(ppn), start)
+        if self.faults is None:
+            t = self.clock.read_page(self.codec.ppn_to_plane(ppn), start)
+        else:
+            t = self._fault_read_data(lpn, ppn, start)
         self._maybe_debug_check()
         return t
 
@@ -148,14 +175,36 @@ class FastFtl(Ftl):
     def _append(self, block: int, lpn: int, now: float) -> float:
         """Program the next page of a log block with ``lpn``."""
         old_ppn = self.current_ppn(lpn)
-        offset = int(self.array.block_write_ptr[block])
-        ppn = self.codec.block_first_ppn(block) + offset
-        self.array.program(ppn, lpn)
-        t = self.clock.program_page(self.codec.block_to_plane(block), now)
+        faults = self.faults
+        if faults is None:
+            offset = int(self.array.block_write_ptr[block])
+            ppn = self.codec.block_first_ppn(block) + offset
+            self.array.program(ppn, lpn)
+            t = self.clock.program_page(self.codec.block_to_plane(block), now)
+        else:
+            try:
+                ppn, t = faults.program(_BlockCursor(self.array, block), lpn, now)
+            except FlashStateError:
+                # The log block filled up (or was queued for retirement)
+                # under program failures: demote it to the RW queue and
+                # restart the write in a fresh RW log block.
+                self._demote_log_block(block)
+                return self._append_rw(lpn, now)
         if old_ppn != -1:
             self.array.invalidate(old_ppn)
         self.page_table[lpn] = ppn
         return t
+
+    def _demote_log_block(self, block: int) -> None:
+        """Strip ``block`` of its SW/current-RW role and queue it with
+        the sealed RW logs.  It stays in log duty; a later full merge or
+        retirement drain reclaims it."""
+        if self.sw is not None and self.sw.block == block:
+            self.sw = None
+        if self.current_rw == block:
+            self.current_rw = None
+        if block not in self.rw_blocks:
+            self.rw_blocks.append(block)
 
     def _append_rw(self, lpn: int, now: float) -> float:
         t = now
@@ -206,6 +255,20 @@ class FastFtl(Ftl):
         filled = int(self.array.block_write_ptr[block])
         old_block = int(self.data_block[lbn])
         t = now
+        if self.faults is not None and not self._sw_block_aligned(block, lbn, filled):
+            # Program failures shifted the stream inside the log block,
+            # so it cannot serve as an offset-aligned data block.
+            # Rebuild the logical block the full-merge way; the shifted
+            # log joins the RW queue (its pages go stale in the rebuild
+            # and the next full merge erases it cheaply).
+            self.rw_blocks.append(block)
+            self.fast_stats.shifted_closes += 1
+            t = self._merge_lbn(lbn, t)
+            if BUS.enabled:
+                BUS.emit("gc", "shifted_close", now, t - now,
+                         {"lbn": lbn, "log_block": block},
+                         f"plane:{self.codec.block_to_plane(block)}")
+            return t
         if filled < self.pages_per_block:
             # Partial merge: pull the not-yet-streamed offsets in.
             t = self._fill_tail(block, lbn, filled, t)
@@ -216,7 +279,7 @@ class FastFtl(Ftl):
             merge_kind = "switch_merge"
         self.data_block[lbn] = block
         self._log_count -= 1
-        t = self.map_journal.record_update(t)
+        t = self.map_journal.record_update(t, lbn, block)
         if old_block != -1:
             t = self._erase_data_block(old_block, t)
         if BUS.enabled:
@@ -224,6 +287,18 @@ class FastFtl(Ftl):
                      {"lbn": lbn, "log_block": block},
                      f"plane:{self.codec.block_to_plane(block)}")
         return t
+
+    def _sw_block_aligned(self, block: int, lbn: int, filled: int) -> bool:
+        """True when every valid page of the SW log sits at its stream
+        offset (program failures can shift the physical layout)."""
+        first = self.codec.block_first_ppn(block)
+        base = lbn * self.pages_per_block
+        for off in range(filled):
+            ppn = first + off
+            if (self.array.state_of(ppn) == PageState.VALID
+                    and self.array.owner_of(ppn) != base + off):
+                return False
+        return True
 
     def _fill_tail(self, block: int, lbn: int, first_off: int, now: float) -> float:
         """Copy offsets ``first_off..P-1``'s latest copies into ``block``."""
@@ -258,6 +333,8 @@ class FastFtl(Ftl):
             raise AssertionError(f"full merge left valid pages in victim {victim}")
         t = self.clock.erase_block(self.codec.block_to_plane(victim), t)
         self.array.erase(victim)
+        if self.faults is not None:
+            self.faults.check_erase(victim)
         self.array.release_block(victim)
         self.gc_stats.erased_blocks += 1
         self._log_count -= 1
@@ -295,7 +372,7 @@ class FastFtl(Ftl):
             self.page_table[base_lpn + off] = first_ppn + off
         old_block = int(self.data_block[lbn])
         self.data_block[lbn] = new_block
-        t = self.map_journal.record_update(t)
+        t = self.map_journal.record_update(t, lbn, new_block)
         if old_block != -1:
             t = self._erase_data_block(old_block, t)
         return t
@@ -305,9 +382,117 @@ class FastFtl(Ftl):
             raise AssertionError(f"retiring data block {block} with valid pages")
         t = self.clock.erase_block(self.codec.block_to_plane(block), now)
         self.array.erase(block)
+        if self.faults is not None:
+            self.faults.check_erase(block)
         self.array.release_block(block)
         self.gc_stats.erased_blocks += 1
         return t
+
+    # ---- fault handling (repro.faults) -------------------------------------------
+
+    def _retire_block_runtime(self, block: int, now: float) -> float:
+        """Relocate live data off a failing block and retire it.
+
+        The block is detached from any log/data role *first*: the
+        relocation rewrites go through the RW log path, which can
+        trigger merges that must not re-discover the block through a
+        stale role.
+        """
+        t = now
+        if self.sw is not None and self.sw.block == block:
+            self.sw = None
+            self._log_count -= 1
+        elif self.current_rw == block:
+            self.current_rw = None
+            self._log_count -= 1
+        elif block in self.rw_blocks:
+            self.rw_blocks.remove(block)
+            self._log_count -= 1
+        else:
+            lbns = np.flatnonzero(self.data_block == block)
+            if lbns.size:
+                lbn = int(lbns[0])
+                self.data_block[lbn] = -1
+                t = self.map_journal.record_update(t, lbn, -1)
+        src_plane = self.codec.block_to_plane(block)
+        for ppn in list(self.array.valid_pages_in_block(block)):
+            if self.array.state_of(ppn) != PageState.VALID:
+                continue  # a merge triggered by an earlier relocation moved it
+            owner = int(self.array.owner_of(ppn))
+            t = self.clock.read_page(src_plane, t)
+            t = self._append_rw(owner, t)
+            new_ppn = int(self.page_table[owner])
+            self.gc_stats.moved_pages += 1
+            self.gc_stats.controller_moves += 1
+            if self.faults is not None:
+                self.faults.stats.relocated_pages += 1
+            if BUS.enabled:
+                BUS.emit("fault", "relocate", t, 0.0,
+                         {"block": block, "from_ppn": int(ppn),
+                          "to_ppn": new_ppn, "src_plane": src_plane,
+                          "dst_plane": self.codec.ppn_to_plane(new_ppn)},
+                         None, "i")
+        self.array.retire_block(block)
+        if self.faults is not None:
+            self.faults.stats.blocks_retired += 1
+        if BUS.enabled:
+            BUS.emit("fault", "block_retired", t, 0.0,
+                     {"block": block, "plane": src_plane}, None, "i")
+        return t
+
+    # ---- power-loss recovery -------------------------------------------------------
+
+    def on_power_loss(self) -> None:
+        super().on_power_loss()
+        # The SRAM log roles and the journal's ring bookkeeping are gone.
+        self.sw = None
+        self.current_rw = None
+        self.rw_blocks.clear()
+        self._log_count = 0
+        self.map_journal.reset_volatile()
+
+    def _post_recovery(self) -> None:
+        """Rebuild the block map and log roles after a power cycle.
+
+        1. The data-block table comes from the journal's persisted
+           content, validated against page owners (an entry can be stale
+           when a journal write was skipped on a tiny device).
+        2. Remaining in-use blocks with live data are re-adopted as RW
+           logs in write-stamp order (oldest first, matching the
+           full-merge queue discipline); fully stale ones (the old
+           journal ring, abandoned logs) are erased and pooled.
+        """
+        self.data_block.fill(-1)
+        for lbn, block in sorted(self.map_journal.recorded_map().items()):
+            if lbn >= self.num_lbns:
+                continue
+            if self.array.is_block_free(block) or self.array.is_block_bad(block):
+                continue
+            if self._block_serves_lbn(block, lbn):
+                self.data_block[lbn] = block
+        referenced = {int(b) for b in self.data_block if b != -1}
+        orphans = []
+        for block in range(self.geometry.num_physical_blocks):
+            if (self.array.is_block_free(block) or self.array.is_block_bad(block)
+                    or block in referenced):
+                continue
+            if self.array.block_valid[block] > 0:
+                orphans.append(block)
+            else:
+                self.array.erase(block)
+                self.array.release_block(block)
+        orphans.sort(key=lambda b: (int(self.array.block_write_stamp[b]), b))
+        self.rw_blocks.extend(orphans)
+        self._log_count = len(orphans)
+
+    def _block_serves_lbn(self, block: int, lbn: int) -> bool:
+        """Every valid page in ``block`` belongs to ``lbn`` (journal
+        entry still describes reality)."""
+        base = lbn * self.pages_per_block
+        for ppn in self.array.valid_pages_in_block(block):
+            if not base <= self.array.owner_of(ppn) < base + self.pages_per_block:
+                return False
+        return True
 
     # ---- introspection -----------------------------------------------------------
 

@@ -97,7 +97,13 @@ def select_victim(
         raise ValueError(f"policy must be one of {VICTIM_POLICIES}")
     blocks = array.plane_blocks(plane)
     invalid = array.block_invalid_np[blocks.start : blocks.stop].astype(np.int64, copy=True)
-    eligible = ~array.block_free_mask[blocks.start : blocks.stop] & (invalid > 0)
+    # Runtime-retired blocks stay out of the free pool with invalid
+    # pages left behind — never victims (their media is dead).
+    eligible = (
+        ~array.block_free_mask[blocks.start : blocks.stop]
+        & ~array.bad_block_mask[blocks.start : blocks.stop]
+        & (invalid > 0)
+    )
     if max_valid is not None:
         valid = array.block_valid_np[blocks.start : blocks.stop]
         eligible &= valid <= max_valid

@@ -45,20 +45,34 @@ class MapJournal:
         self._current = None
         self.map_writes = 0
         self.skipped_writes = 0
+        # Logical content model of the journal: the block-map entries
+        # whose updates actually reached flash.  Survives a power cycle
+        # (it models on-flash data); ``reset_volatile`` does not touch
+        # it.  Entries become stale only through ``skipped_writes``
+        # (recovery must validate against page owners).
+        self._persisted: dict = {}
 
-    def record_update(self, now: float) -> float:
-        """Append one map page; returns the time afterwards."""
+    def record_update(self, now: float, lbn: int | None = None,
+                      block: int | None = None) -> float:
+        """Append one map page; returns the time afterwards.
+
+        ``lbn``/``block`` describe the table change being journalled
+        (``block == -1`` records a deletion); callers that only want the
+        cost model may omit them.
+        """
         t = now
         if self._current is None or self.array.block_free_pages(self._current) == 0:
             t = self._advance_ring(t)
             if self._current is None:
                 # plane 0 fully committed to data on an extremely small
-                # device: skip persistence (cost model only).
+                # device: skip persistence (cost model only).  The
+                # update never reaches flash, so the persisted content
+                # model keeps its stale entry.
                 self.skipped_writes += 1
                 return t
-        block = self._current
-        offset = int(self.array.block_write_ptr[block])
-        ppn = self.array.codec.block_first_ppn(block) + offset
+        journal_block = self._current
+        offset = int(self.array.block_write_ptr[journal_block])
+        ppn = self.array.codec.block_first_ppn(journal_block) + offset
         # Journal pages carry no owner the FTL tracks (OWNER_NONE, not
         # a fake LPN that event-stream consumers would confuse with a
         # real page-0 mapping); mark them stale immediately (superseded
@@ -67,7 +81,25 @@ class MapJournal:
         self.array.invalidate(ppn)
         t = self.clock.program_page(self.PLANE, t)
         self.map_writes += 1
+        if lbn is not None:
+            if block is None or block == -1:
+                self._persisted.pop(int(lbn), None)
+            else:
+                self._persisted[int(lbn)] = int(block)
         return t
+
+    def recorded_map(self) -> dict:
+        """The block-map content recoverable from the journal."""
+        return dict(self._persisted)
+
+    def reset_volatile(self) -> None:
+        """Forget the in-RAM ring bookkeeping (power loss).
+
+        The ring's physical blocks stay allocated on flash; recovery
+        treats them as orphans (all pages invalid) and reclaims them.
+        """
+        self._ring.clear()
+        self._current = None
 
     def _advance_ring(self, now: float) -> float:
         t = now

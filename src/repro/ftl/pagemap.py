@@ -92,10 +92,15 @@ class PageMapFtl(Ftl):
     def write_page(self, lpn: int, start: float) -> float:
         self.check_lpn(lpn)
         self.stats.host_writes += 1
-        if self.roaming is not None:
-            start = self._maybe_gc(self.roaming.peek_plane(), start)
-        elif self.striping == "lpn":
-            start = self._maybe_gc(lpn % self.num_planes, start)
+        try:
+            if self.roaming is not None:
+                start = self._maybe_gc(self.roaming.peek_plane(), start)
+            elif self.striping == "lpn":
+                start = self._maybe_gc(lpn % self.num_planes, start)
+        except FlashStateError as exc:
+            # peek_plane / GC found no destination space anywhere:
+            # genuine end of life, fail this request gracefully.
+            raise OutOfSpaceError(f"cannot place write for lpn {lpn} — device full") from exc
         old_ppn = self.current_ppn(lpn)
         try:
             new_ppn = self._place(lpn)

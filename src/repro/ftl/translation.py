@@ -32,6 +32,12 @@ class _Allocator(Protocol):
     def allocate(self, owner: int) -> int: ...
 
 
+def _out_of_space():
+    from repro.ftl.base import OutOfSpaceError
+
+    return OutOfSpaceError("no plane can absorb a translation page — device full")
+
+
 @dataclass
 class TranslationStats:
     tpage_reads: int = 0
@@ -79,6 +85,9 @@ class TranslationManager:
         self.gc_mode = gc_mode
         self.fallback_allocator = fallback_allocator
         self.stats = TranslationStats()
+        #: FaultInjector when fault injection is active (set by the
+        #: owning FTL's ``attach_faults``), else None.
+        self.faults = None
 
     # ---- core protocol -----------------------------------------------------
 
@@ -133,18 +142,38 @@ class TranslationManager:
         plane = self.plane_of_tvpn(tvpn)
         allocator = self.allocator_of_plane(plane)
         owner = encode_translation_owner(tvpn)
-        try:
-            new_ppn = allocator.allocate(owner)
-        except FlashStateError:
-            # Policy plane exhausted mid-collection: place the page on
-            # any plane with space.  The GTD (SRAM) points anywhere, so
-            # this trades placement policy for guaranteed progress.
-            if self.fallback_allocator is None:
-                raise
-            new_ppn = self.fallback_allocator().allocate(owner)
-            self.stats.offpolicy_tpage_writes += 1
-        actual_plane = self.array.codec.ppn_to_plane(new_ppn)
-        t = self.clock.program_page(actual_plane, t)
+        faults = self.faults
+        if faults is None:
+            try:
+                new_ppn = allocator.allocate(owner)
+            except FlashStateError:
+                # Policy plane exhausted mid-collection: place the page on
+                # any plane with space.  The GTD (SRAM) points anywhere, so
+                # this trades placement policy for guaranteed progress.
+                if self.fallback_allocator is None:
+                    raise
+                try:
+                    new_ppn = self.fallback_allocator().allocate(owner)
+                except FlashStateError as exc:
+                    # Even the fallback has nothing left: genuine end of
+                    # life — surface it as the per-request error the
+                    # controller knows how to fail gracefully.
+                    raise _out_of_space() from exc
+                self.stats.offpolicy_tpage_writes += 1
+            actual_plane = self.array.codec.ppn_to_plane(new_ppn)
+            t = self.clock.program_page(actual_plane, t)
+        else:
+            try:
+                new_ppn, t = faults.program(allocator, owner, t)
+            except FlashStateError:
+                if self.fallback_allocator is None:
+                    raise
+                try:
+                    new_ppn, t = faults.program(self.fallback_allocator(), owner, t)
+                except FlashStateError as exc:
+                    raise _out_of_space() from exc
+                self.stats.offpolicy_tpage_writes += 1
+            actual_plane = self.array.codec.ppn_to_plane(new_ppn)
         self.stats.tpage_writes += 1
         self.gtd.update(tvpn, new_ppn)
         return self.gc_hook(actual_plane, t)

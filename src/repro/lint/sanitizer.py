@@ -220,6 +220,8 @@ class SimSanitizer:
             self._shadow_bulk_fill(int(args["block"]), int(args["count"]))
         elif name == "mark_bad":
             self._shadow_free[int(args["block"])] = False
+        elif name == "retire_block":
+            self._shadow_retire(int(args["block"]))
 
     def _shadow_program(self, ppn: int) -> None:
         block, offset = divmod(ppn, self._pages_per_block)
@@ -323,6 +325,27 @@ class SimSanitizer:
                 {"block": block},
             )
         self._shadow_free[block] = False
+
+    def _shadow_retire(self, block: int) -> None:
+        """Runtime retirement: an in-use block leaves circulation with
+        its pages un-erased; all live data must have been relocated."""
+        if self._shadow_free[block]:
+            self._fail(
+                "retire-free-block",
+                f"runtime retirement of block {block} which sits in the free pool",
+                {"block": block},
+            )
+        first = block * self._pages_per_block
+        states = self._shadow_state[first : first + self._pages_per_block]
+        n_valid = int(np.count_nonzero(states == _VALID))
+        if n_valid:
+            self._fail(
+                "retire-valid",
+                f"runtime retirement of block {block} still holding {n_valid} "
+                "valid pages (relocation must happen first)",
+                {"block": block, "valid": n_valid},
+            )
+        # The block stays out of the free pool forever; nothing else to do.
 
     def _shadow_release(self, block: int, retired: bool) -> None:
         if self._shadow_ptr[block] != 0:

@@ -45,6 +45,8 @@ class RunStats:
     copyback_ratio: List[float] = field(default_factory=list)
     gc_passes: List[int] = field(default_factory=list)
     flash_programs: List[int] = field(default_factory=list)
+    bad_blocks: List[int] = field(default_factory=list)
+    fault_events: List[int] = field(default_factory=list)
 
     @property
     def samples(self) -> int:
@@ -60,6 +62,8 @@ class RunStats:
             "copyback_ratio": self.copyback_ratio,
             "gc_passes": self.gc_passes,
             "flash_programs": self.flash_programs,
+            "bad_blocks": self.bad_blocks,
+            "fault_events": self.fault_events,
         }
 
     def summary(self) -> dict:
@@ -120,6 +124,13 @@ class StatsSampler:
         self._armed = True
         self.engine.schedule_after(self.stats.interval_us, self._tick)
 
+    def rearm(self) -> None:
+        """Restart sampling after the armed tick was dropped externally
+        (``Engine.clear_pending`` on a simulated power loss cancels it
+        without running ``_tick``)."""
+        self._armed = False
+        self._arm()
+
     def _tick(self) -> None:
         self._armed = False
         self.sample_now()
@@ -137,6 +148,18 @@ class StatsSampler:
         depth = self.controller.outstanding
         cmt = len(self.ftl.cmt) if hasattr(self.ftl, "cmt") else 0
         now = self.engine.now
+        bad_blocks = array.bad_block_count()  # O(1): live counter
+        faults = self.ftl.faults
+        if faults is not None:
+            fstats = faults.stats
+            fault_events = (
+                fstats.program_failures
+                + fstats.erase_failures
+                + fstats.correctable_reads
+                + fstats.uncorrectable_reads
+            )
+        else:
+            fault_events = 0
 
         stats = self.stats
         stats.times_us.append(now)
@@ -148,6 +171,8 @@ class StatsSampler:
         stats.copyback_ratio.append(copyback_ratio)
         stats.gc_passes.append(self.ftl.gc_stats.passes)
         stats.flash_programs.append(counters.programs)
+        stats.bad_blocks.append(bad_blocks)
+        stats.fault_events.append(fault_events)
 
         registry = self.registry
         registry.gauge("queue_depth_now").set(depth)
@@ -155,6 +180,10 @@ class StatsSampler:
         registry.gauge("free_blocks_total").set(sum(free))
         registry.gauge("cmt_entries").set(cmt)
         registry.gauge("copyback_ratio").set(copyback_ratio)
+        registry.gauge("bad_blocks_total").set(bad_blocks)
+        if faults is not None:
+            registry.gauge("fault_events_total").set(fault_events)
+            registry.gauge("fault_lost_pages").set(self.ftl.stats.lost_pages)
         self._depth_histogram.observe(depth)
 
         bus = self.bus
@@ -164,3 +193,12 @@ class StatsSampler:
             bus.counter("copyback_ratio", now, {"ratio": copyback_ratio})
             if hasattr(self.ftl, "cmt"):
                 bus.counter("cmt_entries", now, {"cached": cmt})
+            bus.counter("bad_blocks", now, {"retired": bad_blocks})
+            if faults is not None:
+                bus.counter(
+                    "faults", now,
+                    {"program_fails": fstats.program_failures,
+                     "erase_fails": fstats.erase_failures,
+                     "read_retries": fstats.read_retries,
+                     "lost_pages": fstats.uncorrectable_reads},
+                )

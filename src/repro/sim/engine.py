@@ -116,6 +116,19 @@ class Engine:
             self._pending += len(handles)
         return handles
 
+    def clear_pending(self) -> int:
+        """Cancel every not-yet-fired event (power loss: in-flight work
+        vanishes mid-air).  Returns the number of events dropped.  The
+        clock does not move; the engine can schedule and run again."""
+        dropped = 0
+        for _time, _seq, handle in self._heap:
+            if not (handle.cancelled or handle.fired):
+                handle.cancelled = True
+                dropped += 1
+        self._heap.clear()
+        self._pending = 0
+        return dropped
+
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event (no-op if it already fired or was
         already cancelled — the pending count must not decrement twice)."""

@@ -34,6 +34,15 @@ class IoRequest:
         Read or write.
     completion_us:
         Filled in by the controller when the last sub-request finishes.
+    error:
+        Error status string when the device failed the request (e.g.
+        out of space at end of life), else None.
+    retries:
+        Media retries (read re-reads, reprogram attempts) spent serving
+        this request — nonzero only under fault injection.
+    lost_pages:
+        Pages whose data was lost to uncorrectable read errors while
+        serving this request.
     """
 
     arrival_us: float
@@ -41,6 +50,9 @@ class IoRequest:
     page_count: int
     op: IoOp
     completion_us: float = field(default=-1.0, compare=False)
+    error: str | None = field(default=None, compare=False)
+    retries: int = field(default=0, compare=False)
+    lost_pages: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.page_count < 1:

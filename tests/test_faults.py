@@ -1,0 +1,291 @@
+"""Deterministic fault injection (repro.faults).
+
+Covers the FaultPlan decision streams, the injector's program/erase/
+read semantics, runtime block retirement, and the two reproducibility
+contracts: zero-cost when off (bit-identical fingerprints) and
+identical fault sites + final state across reruns of the same seed.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.controller.device import SimulatedSSD
+from repro.faults import READ_LOST, FaultConfig, FaultInjector, FaultPlan
+from repro.ftl.registry import create_ftl
+from repro.obs.tracebus import BUS
+from repro.perf.fingerprint import ftl_fingerprint
+from repro.sim.request import IoOp, IoRequest
+
+
+FAULT_FTLS = ("dloop", "dftl", "fast")
+
+
+def _plan(**kwargs) -> FaultPlan:
+    return FaultPlan(FaultConfig(**kwargs))
+
+
+# ---- FaultPlan -------------------------------------------------------------
+
+
+def test_plan_streams_are_deterministic():
+    config = FaultConfig(seed=42, program_fail_rate=0.3, erase_fail_rate=0.2,
+                         read_error_rate=0.2, read_uncorrectable_rate=0.05)
+    a, b = FaultPlan(config), FaultPlan(config)
+    assert [a.next_program_fails() for _ in range(500)] == \
+           [b.next_program_fails() for _ in range(500)]
+    assert [a.next_erase_fails() for _ in range(500)] == \
+           [b.next_erase_fails() for _ in range(500)]
+    assert [a.next_read_outcome() for _ in range(500)] == \
+           [b.next_read_outcome() for _ in range(500)]
+
+
+def test_plan_seed_changes_decisions():
+    mk = lambda s: FaultPlan(dataclasses.replace(
+        FaultConfig(program_fail_rate=0.5), seed=s))
+    a, b = mk(1), mk(2)
+    assert [a.next_program_fails() for _ in range(200)] != \
+           [b.next_program_fails() for _ in range(200)]
+
+
+def test_plan_rates_zero_and_one():
+    assert not _plan().enabled
+    assert _plan(program_fail_rate=0.001).enabled
+    always = _plan(program_fail_rate=1.0)
+    assert all(always.next_program_fails() for _ in range(50))
+    never = _plan(program_fail_rate=0.0)
+    assert not any(never.next_program_fails() for _ in range(50))
+
+
+def test_plan_empirical_rate_tracks_config():
+    plan = _plan(seed=7, program_fail_rate=0.1)
+    hits = sum(plan.next_program_fails() for _ in range(20_000))
+    assert 0.08 < hits / 20_000 < 0.12
+
+
+def test_read_outcomes_banded():
+    plan = _plan(seed=3, read_error_rate=0.3, read_uncorrectable_rate=0.1,
+                 max_read_retries=3)
+    outcomes = [plan.next_read_outcome() for _ in range(10_000)]
+    losses = sum(o == READ_LOST for o in outcomes)
+    retries = [o for o in outcomes if o > 0]
+    assert 0.07 < losses / 10_000 < 0.13
+    assert 0.25 < len(retries) / 10_000 < 0.35
+    assert set(retries) <= {1, 2, 3}
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(program_fail_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultConfig(read_error_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultConfig(max_read_retries=0)
+    with pytest.raises(ValueError):
+        FaultConfig(program_fails_to_retire=0)
+
+
+def test_attach_rejected_without_seams(small_geometry, timing):
+    ftl = create_ftl("pagemap", small_geometry, timing)
+    injector = FaultInjector(ftl.array, ftl.clock, _plan(program_fail_rate=0.1))
+    with pytest.raises(ValueError):
+        ftl.attach_faults(injector)
+
+
+# ---- whole-device runs -----------------------------------------------------
+
+
+def _workload(num_lpns: int, n: int = 1200, seed: int = 9):
+    rng = random.Random(seed)
+    space = int(num_lpns * 0.5)
+    t = 0.0
+    requests = []
+    for _ in range(n):
+        t += rng.expovariate(1 / 400.0)
+        op = IoOp.WRITE if rng.random() < 0.7 else IoOp.READ
+        requests.append(IoRequest(t, rng.randrange(space), 1, op))
+    return requests
+
+
+def _run(small_geometry, ftl_name, faults, *, n=1200, sanitize=True):
+    ssd = SimulatedSSD(small_geometry, ftl=ftl_name, sanitize=sanitize,
+                       faults=faults)
+    ssd.precondition(0.5)
+    ssd.run(_workload(small_geometry.num_lpns, n=n))
+    if ssd.sanitizer is not None:
+        # Detach so a second sanitized SSD in the same test doesn't see
+        # this device's events on the shared bus.
+        ssd.sanitizer.finalize()
+    return ssd
+
+
+@pytest.mark.parametrize("name", FAULT_FTLS)
+def test_zero_rate_plan_is_bit_identical_to_no_faults(small_geometry, name):
+    plain = _run(small_geometry, name, None, sanitize=False)
+    zero = _run(small_geometry, name, FaultConfig(), sanitize=False)
+    fp_a = ftl_fingerprint(plain.ftl, plain.engine.now)
+    fp_b = ftl_fingerprint(zero.ftl, zero.engine.now)
+    assert fp_a == fp_b
+
+
+@pytest.mark.parametrize("name", FAULT_FTLS)
+def test_fault_runs_reproduce_exactly(small_geometry, name):
+    config = FaultConfig.moderate(seed=5)
+    a = _run(small_geometry, name, config)
+    b = _run(small_geometry, name, config)
+    assert a.faults.stats.sites == b.faults.stats.sites
+    assert a.faults.stats.as_dict() == b.faults.stats.as_dict()
+    assert ftl_fingerprint(a.ftl, a.engine.now) == \
+           ftl_fingerprint(b.ftl, b.engine.now)
+    assert a.faults.stats.sites  # the preset actually fired
+
+
+@pytest.mark.parametrize("name", FAULT_FTLS)
+def test_program_failures_survive_and_stay_consistent(small_geometry, name):
+    config = FaultConfig(seed=11, program_fail_rate=0.05,
+                         program_fails_to_retire=2)
+    ssd = _run(small_geometry, name, config)
+    assert ssd.faults.stats.program_failures > 0
+    assert ssd.ftl.clock.counters.skipped_pages > 0
+    ssd.verify()
+
+
+def test_program_fail_retry_stays_on_plane_dloop(small_geometry):
+    """DLOOP's copy-back eligibility: the replacement page of a failed
+    program lands on the same plane (asserted over TraceBus events)."""
+    config = FaultConfig(seed=3, program_fail_rate=0.1,
+                         program_fails_to_retire=3)
+    ssd = SimulatedSSD(small_geometry, ftl="dloop", faults=config)
+    ssd.precondition(0.5)
+    codec = ssd.ftl.codec
+    with BUS.capture() as events:
+        ssd.run(_workload(small_geometry.num_lpns, n=800))
+    fails = [i for i, e in enumerate(events)
+             if e.category == "fault" and e.name == "program_fail"]
+    assert fails, "fault rate high enough that programs must have failed"
+    checked = 0
+    for i in fails:
+        plane = events[i].args["plane"]
+        for e in events[i + 1:]:
+            if e.category == "fault" and e.name == "program_fail":
+                break  # retry failed again; its own entry checks the rest
+            if e.category == "array" and e.name == "program":
+                assert codec.ppn_to_plane(e.args["ppn"]) == plane
+                checked += 1
+                break
+    assert checked > 0
+
+
+def test_retirement_relocates_and_retires(small_geometry):
+    """A block crossing the failure threshold is drained between
+    requests: valid pages relocated, block leaves circulation."""
+    config = FaultConfig(seed=1, program_fail_rate=0.02,
+                         program_fails_to_retire=1)
+    with BUS.capture() as events:
+        ssd = _run(small_geometry, "dloop", config, n=500)
+    stats = ssd.faults.stats
+    assert stats.blocks_retired > 0
+    assert ssd.ftl.array.bad_block_count() >= stats.blocks_retired
+    assert not ssd.faults.pending_retirements
+    retired = [e.args["block"] for e in events
+               if e.category == "fault" and e.name == "block_retired"]
+    for e in events:
+        if e.category == "fault" and e.name == "relocate":
+            assert e.args["block"] in retired
+    ssd.verify()
+
+
+def test_erase_failure_retires_via_release(small_geometry):
+    config = FaultConfig(seed=2, erase_fail_rate=1.0)
+    ssd = _run(small_geometry, "dloop", config)
+    stats = ssd.faults.stats
+    assert stats.erase_failures > 0
+    # every failed erase retired its block through release_block
+    assert ssd.ftl.array.bad_block_count() >= stats.erase_failures
+    assert not ssd.ftl.array.force_retire
+    ssd.verify()
+
+
+def test_read_retries_charge_latency(small_geometry):
+    clean = _run(small_geometry, "dloop", None, sanitize=False)
+    noisy = _run(small_geometry, "dloop",
+                 FaultConfig(seed=4, read_error_rate=0.5), sanitize=False)
+    assert noisy.faults.stats.correctable_reads > 0
+    assert noisy.counters.read_retries == noisy.faults.stats.read_retries
+    # retries cost extra sense operations
+    assert noisy.counters.reads > clean.counters.reads
+
+
+def test_uncorrectable_read_loses_page(small_geometry):
+    config = FaultConfig(seed=6, read_uncorrectable_rate=0.2)
+    ssd = _run(small_geometry, "dloop", config)
+    stats = ssd.faults.stats
+    assert stats.uncorrectable_reads > 0
+    assert ssd.ftl.stats.lost_pages == stats.uncorrectable_reads
+    assert ssd.stats.lost_pages == stats.uncorrectable_reads
+    ssd.verify()  # the lost pages are unmapped, not dangling
+
+
+def test_per_request_retry_accounting(small_geometry):
+    ssd = _run(small_geometry, "dloop",
+               FaultConfig(seed=8, read_error_rate=0.3, program_fail_rate=0.02))
+    assert ssd.stats.retried_requests > 0
+    assert ssd.stats.total_retries >= ssd.stats.retried_requests
+
+
+def test_fault_stats_as_dict_is_serialisable(small_geometry):
+    import json
+
+    ssd = _run(small_geometry, "dloop", FaultConfig.moderate(seed=0), n=400)
+    json.dumps(ssd.faults.stats.as_dict())
+
+
+# ---- BadBlockManager runtime retirement ------------------------------------
+
+
+def test_badblock_manager_retires_allocated_block(small_geometry, timing):
+    from repro.flash.badblocks import BadBlockManager
+
+    ftl = create_ftl("dloop", small_geometry, timing)
+    manager = BadBlockManager(ftl.array, factory_bad_rate=0.0)
+    for lpn in range(small_geometry.num_lpns // 2):
+        ftl.write_page(lpn, 0.0)
+    # pick an allocated block that still holds valid pages
+    mask = (~ftl.array.block_free_mask) & (ftl.array.block_valid_np > 0)
+    block = int(np.flatnonzero(mask)[0])
+    valid_before = int(ftl.array.block_valid[block])
+    manager.retire(ftl, block, now=0.0)
+    assert ftl.array.is_block_bad(block)
+    assert manager.stats.runtime_retired == 1
+    assert int(ftl.array.block_valid[block]) == 0
+    assert valid_before > 0
+    ftl.verify_integrity()
+    # idempotent, and free blocks go straight to mark_bad
+    manager.retire(ftl, block)
+    assert manager.stats.runtime_retired == 1
+
+
+def test_life_fractions_cheap_forms_match(small_geometry):
+    from repro.flash.array import FlashArray
+    from repro.flash.badblocks import BadBlockManager
+
+    array = FlashArray(small_geometry)
+    manager = BadBlockManager(array, rated_cycles=100, factory_bad_rate=0.05,
+                              seed=3)
+    assert manager.remaining_life_fraction() == pytest.approx(1.0)
+    block = int(np.flatnonzero(~array.bad_block_mask)[0])
+    plane = array.codec.block_to_plane(block)
+    for _ in range(10):
+        b = array.allocate_block(plane)
+        array.erase(b)
+        array.release_block(b)
+    assert manager.remaining_life_fraction() < 1.0
+    # reference (mask-based) computation agrees with the fused form
+    alive = ~array.bad_block_mask
+    used = array.block_erase_count_np[alive] / manager.endurance[alive]
+    expected = float(np.clip(1.0 - used, 0.0, 1.0).mean())
+    assert manager.remaining_life_fraction() == pytest.approx(expected)
+    assert manager.retired_fraction() == pytest.approx(
+        array.bad_block_count() / small_geometry.num_physical_blocks)
