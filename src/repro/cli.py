@@ -28,7 +28,7 @@ from repro.flash.geometry import SSDGeometry
 from repro.ftl.registry import available_ftls
 from repro.metrics.ascii_chart import hbar_chart
 from repro.metrics.report import format_table
-from repro.traces.parser import parse_disksim, parse_spc, write_disksim, write_spc
+from repro.traces.parser import iter_trace_file, parse_disksim, parse_spc, write_disksim, write_spc
 from repro.traces.synthetic import EXTRA_TRACE_NAMES, PAPER_TRACE_NAMES, generate, make_workload
 
 
@@ -127,14 +127,28 @@ def cmd_simulate(args) -> int:
         geometry = config.geometry
     else:
         geometry = _build_geometry(args)
+    if args.queue_depth is not None and not args.stream:
+        raise SystemExit("--queue-depth requires --stream")
+    if args.chunk_requests is not None and not args.stream:
+        raise SystemExit("--chunk-requests requires --stream")
+    if args.stream and args.iodepth:
+        raise SystemExit("--stream is not supported with --iodepth "
+                         "(closed-loop mode has its own admission model)")
+    if args.stream and args.crash_at_ms is not None:
+        raise SystemExit("--stream is not supported with --crash-at-ms")
     if args.replay:
-        trace = _load_trace(args.replay)
+        trace = iter_trace_file(args.replay) if args.stream else _load_trace(args.replay)
         trace_name = args.replay
     else:
         footprint = int(args.footprint_mb * MB) if args.footprint_mb else int(geometry.capacity_bytes * 0.55)
         spec = make_workload(args.workload, num_requests=args.requests,
                              footprint_bytes=footprint, seed=args.seed)
-        trace = generate(spec)
+        if args.stream:
+            from repro.traces.stream import DEFAULT_CHUNK_REQUESTS, stream_workload
+
+            trace = stream_workload(spec, args.chunk_requests or DEFAULT_CHUNK_REQUESTS)
+        else:
+            trace = generate(spec)
         trace_name = spec.name
     if not args.config:
         config = ExperimentConfig(
@@ -195,6 +209,7 @@ def cmd_simulate(args) -> int:
             trace, config, trace_name=trace_name,
             trace_path=args.trace, stats_interval_us=stats_interval_us,
             sanitize=args.sanitize, faults=faults, crash_at_us=crash_at_us,
+            stream=args.stream, queue_depth=args.queue_depth,
         )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
@@ -210,6 +225,9 @@ def cmd_simulate(args) -> int:
     ]
     if result.cmt_hit_ratio is not None:
         rows.insert(5, {"metric": "CMT hit ratio", "value": result.cmt_hit_ratio})
+    stream_report = result.extras.get("stream")
+    if stream_report:
+        rows += [{"metric": f"stream: {k}", "value": v} for k, v in stream_report.items()]
     run_stats = result.extras.get("run_stats")
     if run_stats:
         rows += [{"metric": f"stats: {k}", "value": v} for k, v in run_stats.items()]
@@ -239,16 +257,27 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_tracegen(args) -> int:
+    from repro.traces.stream import stream_workload
+
     footprint = int(args.footprint_mb * MB) if args.footprint_mb else 64 * MB
     spec = make_workload(args.workload, num_requests=args.requests,
                          footprint_bytes=footprint, seed=args.seed)
-    trace = generate(spec)
+    # Stream straight to the file — tracegen never holds the trace in
+    # memory, so multi-million-request files cost O(chunk) RAM.
+    count = 0
+
+    def counted():
+        nonlocal count
+        for request in stream_workload(spec):
+            count += 1
+            yield request
+
     with open(args.out, "w", encoding="ascii") as handle:
         if args.format == "spc":
-            write_spc(trace, handle)
+            write_spc(counted(), handle)
         else:
-            write_disksim(trace, handle)
-    print(f"wrote {len(trace)} requests of '{spec.name}' to {args.out} ({args.format})")
+            write_disksim(counted(), handle)
+    print(f"wrote {count} requests of '{spec.name}' to {args.out} ({args.format})")
     return 0
 
 
@@ -413,6 +442,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--config", help="load geometry/FTL settings from a JSON config file")
     sim.add_argument("--iodepth", type=int, default=0,
                      help="closed-loop mode: keep N requests outstanding and report IOPS")
+    sim.add_argument("--stream", action="store_true",
+                     help="streaming replay: generate/parse and admit the trace "
+                          "lazily in bounded memory (see docs/workloads.md)")
+    sim.add_argument("--queue-depth", type=int, default=None,
+                     help="bound the streaming admission window to N outstanding "
+                          "requests (NCQ model; requires --stream; default unbounded)")
+    sim.add_argument("--chunk-requests", type=int, default=None,
+                     help="generation block size for --stream synthetic traces "
+                          "(memory/speed knob; output is identical for any value)")
     sim.add_argument("--sanitize", action="store_true",
                      help="run under the FTL invariant sanitizer (fails fast on "
                           "any mapping/GC/ordering violation; see docs/static-analysis.md)")

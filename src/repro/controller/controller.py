@@ -47,6 +47,19 @@ class RequestStats:
     def count(self) -> int:
         return len(self.response_us)
 
+    def observe(self, response_us: float, is_write: bool) -> None:
+        """Record one completed request's response time.
+
+        The single accumulation seam shared with
+        :class:`repro.metrics.streaming.StreamingRequestStats`, so the
+        controller works identically against either implementation.
+        """
+        self.response_us.append(response_us)
+        if is_write:
+            self.write_response_us.append(response_us)
+        else:
+            self.read_response_us.append(response_us)
+
     def mean_response_us(self) -> float:
         return float(np.mean(self.response_us)) if self.response_us else 0.0
 
@@ -70,10 +83,19 @@ class Controller:
         self.backend = backend if backend is not None else ftl
         self.stats = RequestStats()
         self.outstanding = 0
+        #: high-water mark of ``outstanding`` over the whole run
+        self.peak_outstanding = 0
         #: callbacks fired when the last outstanding request completes
         self.on_idle: list = []
         #: callbacks fired after every request completion (gets the request)
         self.on_complete: list = []
+        # Streaming admission (submit_stream): the not-yet-admitted tail
+        # of the trace, the number of admitted-but-uncompleted streamed
+        # requests, and whether admission is blocked on a full window.
+        self._stream = None
+        self._stream_depth: int | None = None
+        self._stream_window = 0
+        self._stream_deferred = False
 
     def submit(self, request: IoRequest) -> None:
         """Register a request for arrival at its timestamp."""
@@ -90,10 +112,63 @@ class Controller:
         )
         return len(handles)
 
+    def submit_stream(self, requests, queue_depth: int | None = None) -> None:
+        """Lazily admit requests from an iterator (NCQ admission model).
+
+        Unlike :meth:`submit_many`, which pre-schedules every arrival
+        (O(trace) heap entries), this pulls from ``requests`` one at a
+        time: at most one not-yet-arrived request is in the event queue,
+        so a multi-million-request trace runs in O(1) controller memory.
+        Arrivals must be time-ordered (the generators and trace parsers
+        all are).
+
+        ``queue_depth`` bounds the admitted-but-uncompleted window, the
+        way NCQ/host queue depth bounds a real drive: when the window is
+        full, the next request is admitted only when a slot frees, at
+        ``max(completion_now, its arrival time)``.  Its recorded
+        response time still runs from the original arrival, so host-side
+        queueing delay shows up in the latency stats.  ``None`` means
+        unbounded: every request arrives exactly at its timestamp, and
+        the run is event-for-event identical to :meth:`submit_many`.
+        """
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._stream = iter(requests)
+        self._stream_depth = queue_depth
+        self._stream_window = 0
+        self._stream_deferred = False
+        self._admit()
+
+    def _admit(self) -> None:
+        """Schedule the next streamed arrival, if any and window permits."""
+        if self._stream is None:
+            return
+        if self._stream_depth is not None and self._stream_window >= self._stream_depth:
+            self._stream_deferred = True
+            return
+        request = next(self._stream, None)
+        if request is None:
+            self._stream = None
+            return
+        request.streamed = True
+        self._stream_window += 1
+        self.engine.schedule_at(
+            max(self.engine.now, request.arrival_us), self._arrive_streamed, request
+        )
+
+    def _arrive_streamed(self, request: IoRequest) -> None:
+        # Pull the successor *before* serving this request so the next
+        # arrival is scheduled from the current clock — for monotone
+        # traces this preserves submit_many's arrival processing order.
+        self._admit()
+        self._arrive(request)
+
     def _arrive(self, request: IoRequest) -> None:
         # Outstanding counts *arrived* in-flight requests — the device
         # is idle (for background work) when this returns to zero.
         self.outstanding += 1
+        if self.outstanding > self.peak_outstanding:
+            self.peak_outstanding = self.outstanding
         now = self.engine.now
         if BUS.enabled:
             BUS.counter("queue_depth", now, {"outstanding": self.outstanding})
@@ -145,6 +220,14 @@ class Controller:
 
     def _complete(self, request: IoRequest) -> None:
         self.outstanding -= 1
+        if request.streamed:
+            # Return the NCQ slot; if admission stalled on a full
+            # window, the deferred request enters now (never earlier
+            # than its own arrival time — see _admit).
+            self._stream_window -= 1
+            if self._stream_deferred:
+                self._stream_deferred = False
+                self._admit()
         response = request.response_us
         if BUS.enabled:
             args = {"lpn": request.start_lpn, "pages": request.page_count}
@@ -170,8 +253,4 @@ class Controller:
         if self.outstanding == 0:
             for callback in self.on_idle:
                 callback()
-        self.stats.response_us.append(response)
-        if request.op is IoOp.WRITE:
-            self.stats.write_response_us.append(response)
-        else:
-            self.stats.read_response_us.append(response)
+        self.stats.observe(response, request.op is IoOp.WRITE)

@@ -7,7 +7,8 @@ page-addressed requests (or a whole trace), and read the metrics off.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+import math
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.controller.controller import Controller, RequestStats
 from repro.flash.geometry import SSDGeometry
@@ -138,6 +139,41 @@ class SimulatedSSD:
             self.sanitizer.check_now()
         return end
 
+    def run_stream(
+        self,
+        requests: Iterator[IoRequest],
+        *,
+        queue_depth: Optional[int] = None,
+        until: Optional[float] = None,
+        streaming_stats: bool = True,
+    ) -> float:
+        """Run a (possibly unbounded) request stream in bounded memory.
+
+        ``requests`` is consumed lazily through the controller's NCQ
+        admission window (:meth:`Controller.submit_stream`): at most one
+        not-yet-arrived request sits in the event queue, so replaying a
+        multi-million-request trace costs O(1) simulator memory on top
+        of the flash state.  With ``queue_depth=None`` the run is
+        event-identical to :meth:`run` on the materialized list.
+
+        ``streaming_stats`` swaps the controller's list-backed
+        :class:`RequestStats` for the O(1)-memory
+        :class:`repro.metrics.streaming.StreamingRequestStats` (exact
+        running moments, reservoir percentiles).  Pass False to keep
+        full per-request latency lists, e.g. for small traces that need
+        exact high percentiles.
+        """
+        if streaming_stats:
+            from repro.metrics.streaming import StreamingRequestStats
+
+            if not isinstance(self.controller.stats, StreamingRequestStats):
+                self.controller.stats = StreamingRequestStats()
+        self.controller.submit_stream(requests, queue_depth=queue_depth)
+        end = self.engine.run(until=until)
+        if self.sanitizer is not None:
+            self.sanitizer.check_now()
+        return end
+
     # ---- preconditioning ------------------------------------------------------
 
     def precondition(self, fill_fraction: float = 0.9, *, stride: int = 1) -> None:
@@ -155,17 +191,45 @@ class SimulatedSSD:
         if stride == 1:
             self.ftl.bulk_fill(count)
         else:
-            for lpn in range(0, count * stride, stride):
-                self.ftl.write_page(lpn % num_lpns, 0.0)
+            # Walk the cosets of the stride's cycle group.  A bare
+            # ``(i * stride) % num_lpns`` walk revisits after
+            # num_lpns/gcd(stride, num_lpns) steps, so for e.g. stride=2
+            # on a power-of-two space it would rewrite half the LPNs
+            # twice and never honor fill_fraction.  Advancing to the
+            # next coset (+1) on each wrap covers ``count`` *distinct*
+            # LPNs for any stride.
+            period = num_lpns // math.gcd(stride, num_lpns)
+            for i in range(count):
+                coset, step = divmod(i, period)
+                self.ftl.write_page((coset + step * stride) % num_lpns, 0.0)
         self.reset_measurements()
 
     def reset_measurements(self) -> None:
-        """Zero timing/counters; keep flash state and mapping caches."""
+        """Zero timing and *all* measurement counters; keep flash state.
+
+        The measurement boundary between preconditioning and the
+        measured trace.  Everything that accumulates per-run statistics
+        is reset here — controller request stats, FTL host/GC counters,
+        write-buffer hit/eviction counters, fault accounting — while
+        physical state (flash contents, mapping caches, wear, pending
+        block retirements) is deliberately kept.
+        """
         self.ftl.clock.reset_measurements()
+        from repro.ftl.base import FtlStats
         from repro.ftl.gcontrol import GcStats
 
         self.ftl.gc_stats = GcStats()
-        self.controller.stats = RequestStats()
+        self.ftl.stats = FtlStats()
+        # Same concrete stats type the controller currently carries
+        # (RequestStats or StreamingRequestStats).
+        self.controller.stats = type(self.controller.stats)()
+        self.controller.peak_outstanding = 0
+        if self.write_buffer is not None:
+            from repro.controller.writebuffer import WriteBufferStats
+
+            self.write_buffer.stats = WriteBufferStats()
+        if self.faults is not None:
+            self.faults.stats.reset()
 
     # ---- results -----------------------------------------------------------------
 

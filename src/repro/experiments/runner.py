@@ -86,6 +86,8 @@ def run_simulation(
     sanitize: bool = False,
     faults=None,
     crash_at_us: Optional[float] = None,
+    stream: bool = False,
+    queue_depth: Optional[int] = None,
 ) -> SimulationResult:
     """Replay a trace through a freshly built (and preconditioned) SSD.
 
@@ -101,6 +103,16 @@ def run_simulation(
     ``crash_at_us`` power-fails the device at that simulated time,
     recovers it, then replays the rest of the trace on the recovered
     device (``result.extras['crash']``).
+
+    ``stream=True`` replays the trace through
+    :meth:`SimulatedSSD.run_stream` without ever materializing it:
+    the trace iterable is consumed lazily through the controller's
+    admission window (bounded by ``queue_depth`` when given) and
+    response times are accumulated by the O(1)-memory streaming stats,
+    so multi-million-request traces run in bounded memory.  In stream
+    mode ``steady_response_ms`` is the overall mean (steady-state
+    detection needs the full latency series) and ``crash_at_us`` is
+    unsupported.
     """
     wall_start = time.perf_counter()  # dl: disable=DL101 — host wall-time metric, not sim state
     ssd = SimulatedSSD(
@@ -115,26 +127,37 @@ def run_simulation(
     if config.precondition_fill:
         ssd.precondition(config.precondition_fill)
 
-    capacity = config.geometry.capacity_bytes
-    requests: List = []
-    for r in trace:
-        offset = r.offset_bytes % capacity
-        size = min(r.size_bytes, capacity - offset)
-        op = IoOp.WRITE if r.is_write else IoOp.READ
-        requests.append(ssd.byte_request(r.arrival_us, offset, size, op))
     extras: dict = {}
+    if stream:
+        if crash_at_us is not None:
+            raise ValueError("crash_at_us is not supported with stream=True "
+                             "(crash splitting needs the materialized trace)")
+        from repro.traces.stream import io_requests
 
-    def _drive() -> float:
-        if crash_at_us is None:
-            return ssd.run(requests)
-        # Power-fail mid-trace: requests in flight at the crash instant
-        # are lost; the host "resumes" the remainder of the trace on the
-        # recovered device.
-        survivors = [r for r in requests if r.arrival_us >= crash_at_us]
-        extras["crash"] = ssd.run_with_crash(
-            [r for r in requests if r.arrival_us < crash_at_us], crash_at_us
-        )
-        return ssd.run(survivors)
+        def _drive() -> float:
+            return ssd.run_stream(
+                io_requests(trace, config.geometry), queue_depth=queue_depth
+            )
+    else:
+        capacity = config.geometry.capacity_bytes
+        requests: List = []
+        for r in trace:
+            offset = r.offset_bytes % capacity
+            size = min(r.size_bytes, capacity - offset)
+            op = IoOp.WRITE if r.is_write else IoOp.READ
+            requests.append(ssd.byte_request(r.arrival_us, offset, size, op))
+
+        def _drive() -> float:
+            if crash_at_us is None:
+                return ssd.run(requests)
+            # Power-fail mid-trace: requests in flight at the crash
+            # instant are lost; the host "resumes" the remainder of the
+            # trace on the recovered device.
+            survivors = [r for r in requests if r.arrival_us >= crash_at_us]
+            extras["crash"] = ssd.run_with_crash(
+                [r for r in requests if r.arrival_us < crash_at_us], crash_at_us
+            )
+            return ssd.run(survivors)
 
     if trace_path is not None:
         from repro.obs.chrome_trace import ChromeTraceWriter
@@ -156,6 +179,25 @@ def run_simulation(
     def ms(values: List[float]) -> float:
         return float(np.mean(values)) / 1000.0 if values else 0.0
 
+    from repro.metrics.streaming import StreamingRequestStats
+
+    if isinstance(stats, StreamingRequestStats):
+        # No per-request latency series in streaming mode: the steady-
+        # state detector has nothing to window over, so report the
+        # overall (exact Welford) means.
+        steady_response_ms = stats.mean_response_ms()
+        read_response_ms = stats.reads.mean / 1000.0 if stats.reads.count else 0.0
+        write_response_ms = stats.writes.mean / 1000.0 if stats.writes.count else 0.0
+        extras["stream"] = {
+            "queue_depth": queue_depth,
+            "peak_outstanding": ssd.controller.peak_outstanding,
+            "reservoir_exact": stats.reservoir.exact,
+        }
+    else:
+        steady_response_ms = _steady_ms(stats.response_us)
+        read_response_ms = ms(stats.read_response_us)
+        write_response_ms = ms(stats.write_response_us)
+
     if ssd.run_stats is not None:
         extras["run_stats"] = ssd.run_stats.summary()
     if ssd.sanitizer is not None:
@@ -172,9 +214,9 @@ def run_simulation(
         ftl=config.ftl,
         trace=trace_name,
         mean_response_ms=stats.mean_response_ms(),
-        steady_response_ms=_steady_ms(stats.response_us),
-        read_response_ms=ms(stats.read_response_us),
-        write_response_ms=ms(stats.write_response_us),
+        steady_response_ms=steady_response_ms,
+        read_response_ms=read_response_ms,
+        write_response_ms=write_response_ms,
         p99_response_ms=stats.percentile_us(99) / 1000.0,
         sdrpp=sdrpp(counters),
         plane_ops=counters.as_dict()["plane_ops"],
@@ -199,6 +241,24 @@ def run_simulation(
     )
 
 
-def run_workload(spec: WorkloadSpec, config: ExperimentConfig) -> SimulationResult:
-    """Generate a synthetic workload and run it."""
+def run_workload(
+    spec: WorkloadSpec,
+    config: ExperimentConfig,
+    *,
+    stream: bool = False,
+    queue_depth: Optional[int] = None,
+) -> SimulationResult:
+    """Generate a synthetic workload and run it.
+
+    ``stream=True`` never materializes the trace: generation and replay
+    both run in bounded memory (same requests, same seed — the streamed
+    and materialized paths are bit-identical by construction).
+    """
+    if stream:
+        from repro.traces.stream import stream_workload
+
+        return run_simulation(
+            stream_workload(spec), config, trace_name=spec.name,
+            stream=True, queue_depth=queue_depth,
+        )
     return run_simulation(generate(spec), config, trace_name=spec.name)

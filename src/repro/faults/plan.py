@@ -198,6 +198,23 @@ class FaultStats:
     #: replay coordinates: (kind, decision index) of every injected fault
     sites: list = field(default_factory=list)
 
+    def reset(self) -> None:
+        """Zero the counters and site log (measurement boundary).
+
+        Only *accounting* is cleared — injector state that models the
+        physical device (pending retirements, per-block failure counts,
+        decision-stream positions) must survive a measurement reset, so
+        it lives on the injector/plan, not here.
+        """
+        self.program_failures = 0
+        self.erase_failures = 0
+        self.read_retries = 0
+        self.correctable_reads = 0
+        self.uncorrectable_reads = 0
+        self.blocks_retired = 0
+        self.relocated_pages = 0
+        self.sites.clear()
+
     def as_dict(self) -> dict:
         return {
             "program_failures": self.program_failures,

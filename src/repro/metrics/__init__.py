@@ -9,6 +9,11 @@ from repro.metrics.ascii_chart import hbar_chart, series_chart, sparkline
 from repro.metrics.utilization import UtilizationReport, utilization
 from repro.metrics.endurance import EnduranceEstimate, estimate_endurance
 from repro.metrics.timeseries import Telemetry, TelemetrySampler
+from repro.metrics.streaming import (
+    DeterministicReservoir,
+    RunningMoments,
+    StreamingRequestStats,
+)
 
 __all__ = [
     "sdrpp",
@@ -30,4 +35,7 @@ __all__ = [
     "estimate_endurance",
     "Telemetry",
     "TelemetrySampler",
+    "DeterministicReservoir",
+    "RunningMoments",
+    "StreamingRequestStats",
 ]

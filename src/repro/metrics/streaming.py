@@ -1,0 +1,155 @@
+"""Streaming-safe response-time accounting.
+
+``RequestStats`` keeps every response time in a Python list — fine for
+a 20 k-request paper replay, fatal for a multi-million-request
+production trace (O(trace) RAM just for latencies).  This module is the
+O(1)-memory replacement used by the streaming replay path:
+
+* :class:`RunningMoments` — exact running count/mean/variance/min/max
+  via Welford's algorithm (numerically stable single pass);
+* :class:`DeterministicReservoir` — fixed-size uniform sample of the
+  response-time distribution (Vitter's Algorithm R) driven by a seeded
+  RNG, so two replays of the same trace report identical percentiles;
+* :class:`StreamingRequestStats` — a drop-in for
+  :class:`repro.controller.controller.RequestStats`: the controller
+  feeds it through the same ``observe()`` protocol and the reporting
+  layer reads the same ``mean_response_ms()`` / ``percentile_us()``
+  surface, but memory stays fixed no matter how long the trace is.
+
+Percentiles are exact while the reservoir has not evicted (count <=
+capacity) and a uniform-sample estimate afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RunningMoments:
+    """Exact single-pass moments (Welford) plus min/max."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    min: float = math.inf
+    max: float = -math.inf
+
+    def push(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class DeterministicReservoir:
+    """Fixed-size uniform sample (Algorithm R) with a seeded RNG.
+
+    Deterministic by construction: the eviction decisions depend only
+    on the seed and the number of items offered, never on wall clock or
+    hash order — the determinism linter's DL102 rule holds.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0x5EED):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.seen = 0
+        self.values: list = []
+        self._rng = random.Random(seed)
+
+    def push(self, x: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(x)
+            return
+        j = self._rng.randrange(self.seen)
+        if j < self.capacity:
+            self.values[j] = x
+
+    @property
+    def exact(self) -> bool:
+        """True while nothing has been evicted (percentiles are exact)."""
+        return self.seen <= self.capacity
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return 0.0
+        return float(np.percentile(np.asarray(self.values, dtype=np.float64), q))
+
+
+class StreamingRequestStats:
+    """O(1)-memory drop-in for ``RequestStats``.
+
+    The controller mutates the same page/failure/retry counters and
+    calls the same ``observe(response_us, is_write)`` hook; response
+    times flow into running moments (exact mean) and one shared
+    reservoir (percentiles) instead of grow-forever lists.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, reservoir_seed: int = 0x5EED):
+        self.overall = RunningMoments()
+        self.reads = RunningMoments()
+        self.writes = RunningMoments()
+        self.reservoir = DeterministicReservoir(reservoir_size, reservoir_seed)
+        self.pages_read = 0
+        self.pages_written = 0
+        self.pages_trimmed = 0
+        self.failed_requests = 0
+        self.retried_requests = 0
+        self.total_retries = 0
+        self.lost_pages = 0
+
+    # ---- accumulation (controller hot path) -------------------------------
+
+    def observe(self, response_us: float, is_write: bool) -> None:
+        self.overall.push(response_us)
+        if is_write:
+            self.writes.push(response_us)
+        else:
+            self.reads.push(response_us)
+        self.reservoir.push(response_us)
+
+    # ---- RequestStats-compatible reporting surface ------------------------
+
+    @property
+    def count(self) -> int:
+        return self.overall.count
+
+    def mean_response_us(self) -> float:
+        return self.overall.mean if self.overall.count else 0.0
+
+    def mean_response_ms(self) -> float:
+        return self.mean_response_us() / 1000.0
+
+    def percentile_us(self, q: float) -> float:
+        return self.reservoir.percentile(q)
+
+    def summary(self) -> dict:
+        """Scalar digest for reports / CLI tables."""
+        return {
+            "requests": self.count,
+            "mean_us": self.overall.mean,
+            "std_us": self.overall.std,
+            "min_us": self.overall.min if self.count else 0.0,
+            "max_us": self.overall.max if self.count else 0.0,
+            "p50_us": self.percentile_us(50),
+            "p99_us": self.percentile_us(99),
+            "reservoir_exact": self.reservoir.exact,
+        }

@@ -175,6 +175,49 @@ def _device_dloop(quick: bool) -> BenchOutcome:
     return fp, ssd.engine.events_processed, "events"
 
 
+def _stream_device_dloop(quick: bool) -> BenchOutcome:
+    """Full stack fed through the streaming admission window.
+
+    Same layer stack as ``device-dloop`` but the trace is generated
+    lazily (``stream_workload``), admitted through a bounded NCQ window
+    (queue_depth=32), and accounted by the O(1)-memory streaming stats —
+    the path a multi-million-request replay takes.  The fingerprint
+    folds in completed-request and admission-window counts so a
+    regression in the admission logic (dropped/duplicated/reordered
+    requests) trips the determinism gate, not just the timing numbers.
+    """
+    from repro.controller.device import SimulatedSSD
+    from repro.traces.model import SizeMix, WorkloadSpec
+    from repro.traces.stream import io_requests, stream_workload
+
+    geometry = bench_geometry()
+    ssd = SimulatedSSD(geometry, TimingParams(), ftl="dloop")
+    ssd.precondition(0.6)
+
+    n = 25_000 if quick else 200_000
+    spec = WorkloadSpec(
+        name="perf-stream",
+        num_requests=n,
+        write_fraction=0.7,
+        request_rate_per_s=25_000.0,
+        size_mix=SizeMix((2048, 4096, 8192), (0.5, 0.3, 0.2)),
+        footprint_bytes=int(geometry.capacity_bytes * 0.55),
+        sequential_fraction=0.2,
+        zipf_theta=0.9,
+        chunk_bytes=64 * 1024,
+        seed=0x57BEA8,
+    )
+    end = ssd.run_stream(
+        io_requests(stream_workload(spec), geometry), queue_depth=32
+    )
+
+    fp = ftl_fingerprint(ssd.ftl, end)
+    fp.update(engine_fingerprint(ssd.engine))
+    fp["completed"] = ssd.stats.count
+    fp["peak_outstanding"] = ssd.controller.peak_outstanding
+    return fp, ssd.engine.events_processed, "events"
+
+
 BENCHMARKS: Tuple[Benchmark, ...] = (
     Benchmark("engine-churn", "event loop under schedule/cancel churn", _engine_churn),
     Benchmark("mix-dloop", "70/30 write/read mix through DLOOP",
@@ -188,4 +231,7 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
     Benchmark("gc-steady-dloop", "steady-state GC, copy-back dominated", _gc_steady_dloop),
     Benchmark("device-dloop", "full stack: engine + controller + DLOOP",
               _device_dloop, headline=True),
+    Benchmark("stream-device-dloop",
+              "full stack via streaming admission (queue_depth=32)",
+              _stream_device_dloop),
 )

@@ -43,6 +43,10 @@ class IoRequest:
     lost_pages:
         Pages whose data was lost to uncorrectable read errors while
         serving this request.
+    streamed:
+        True when the request was admitted through the controller's
+        streaming admission window (``submit_stream``) and must return
+        a window slot on completion.
     """
 
     arrival_us: float
@@ -53,6 +57,7 @@ class IoRequest:
     error: str | None = field(default=None, compare=False)
     retries: int = field(default=0, compare=False)
     lost_pages: int = field(default=0, compare=False)
+    streamed: bool = field(default=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.page_count < 1:

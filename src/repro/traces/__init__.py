@@ -25,7 +25,11 @@ from repro.traces.parser import (
     write_disksim,
     parse_spc,
     write_spc,
+    iter_disksim,
+    iter_spc,
+    iter_trace_file,
 )
+from repro.traces.stream import DEFAULT_CHUNK_REQUESTS, io_requests, stream_workload
 
 __all__ = [
     "TraceRequest",
@@ -53,4 +57,10 @@ __all__ = [
     "write_disksim",
     "parse_spc",
     "write_spc",
+    "iter_disksim",
+    "iter_spc",
+    "iter_trace_file",
+    "DEFAULT_CHUNK_REQUESTS",
+    "io_requests",
+    "stream_workload",
 ]

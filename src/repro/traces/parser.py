@@ -10,6 +10,10 @@ Two ASCII formats, matching the toolchain the paper's simulator uses:
 
 Both directions (parse/write) round-trip so synthetic traces can be
 saved and replayed.
+
+Each format has two entry points: ``iter_*`` yields requests lazily
+(O(1) memory — the streaming replay path), and ``parse_*`` materializes
+the same sequence into a list.
 """
 
 from __future__ import annotations
@@ -34,9 +38,8 @@ def _lines(source: Source) -> Iterator[str]:
 # ---- DiskSim ASCII ------------------------------------------------------------
 
 
-def parse_disksim(source: Source) -> List[TraceRequest]:
-    """Parse DiskSim 3.0 ASCII: ``arrival_ms devno blkno bcount flags``."""
-    requests: List[TraceRequest] = []
+def iter_disksim(source: Source) -> Iterator[TraceRequest]:
+    """Lazily parse DiskSim 3.0 ASCII: ``arrival_ms devno blkno bcount flags``."""
     for lineno, line in enumerate(_lines(source), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -46,15 +49,17 @@ def parse_disksim(source: Source) -> List[TraceRequest]:
             raise ValueError(f"line {lineno}: expected 5 fields, got {len(parts)}")
         arrival_ms, _devno, blkno, bcount, flags = parts
         is_read = int(flags) & 1 == 1
-        requests.append(
-            TraceRequest(
-                arrival_us=float(arrival_ms) * 1000.0,
-                offset_bytes=int(blkno) * SECTOR,
-                size_bytes=int(bcount) * SECTOR,
-                is_write=not is_read,
-            )
+        yield TraceRequest(
+            arrival_us=float(arrival_ms) * 1000.0,
+            offset_bytes=int(blkno) * SECTOR,
+            size_bytes=int(bcount) * SECTOR,
+            is_write=not is_read,
         )
-    return requests
+
+
+def parse_disksim(source: Source) -> List[TraceRequest]:
+    """Parse DiskSim 3.0 ASCII into a list (see :func:`iter_disksim`)."""
+    return list(iter_disksim(source))
 
 
 def write_disksim(requests: Iterable[TraceRequest], handle: TextIO, devno: int = 0) -> None:
@@ -68,9 +73,8 @@ def write_disksim(requests: Iterable[TraceRequest], handle: TextIO, devno: int =
 # ---- SPC format ------------------------------------------------------------------
 
 
-def parse_spc(source: Source) -> List[TraceRequest]:
-    """Parse SPC: ``asu,lba,size,opcode,timestamp`` (lba in 512 B units)."""
-    requests: List[TraceRequest] = []
+def iter_spc(source: Source) -> Iterator[TraceRequest]:
+    """Lazily parse SPC: ``asu,lba,size,opcode,timestamp`` (lba in 512 B units)."""
     for lineno, line in enumerate(_lines(source), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -82,15 +86,28 @@ def parse_spc(source: Source) -> List[TraceRequest]:
         op = opcode.strip().lower()
         if op not in ("r", "w"):
             raise ValueError(f"line {lineno}: bad opcode {opcode!r}")
-        requests.append(
-            TraceRequest(
-                arrival_us=float(timestamp) * 1e6,
-                offset_bytes=int(lba) * SECTOR,
-                size_bytes=int(size),
-                is_write=op == "w",
-            )
+        yield TraceRequest(
+            arrival_us=float(timestamp) * 1e6,
+            offset_bytes=int(lba) * SECTOR,
+            size_bytes=int(size),
+            is_write=op == "w",
         )
-    return requests
+
+
+def parse_spc(source: Source) -> List[TraceRequest]:
+    """Parse SPC into a list (see :func:`iter_spc`)."""
+    return list(iter_spc(source))
+
+
+def iter_trace_file(path: str) -> Iterator[TraceRequest]:
+    """Lazily parse a trace file, choosing the format by extension.
+
+    ``.spc``/``.csv`` parse as SPC; everything else as DiskSim ASCII —
+    the same convention the CLI's ``--replay`` flag uses.
+    """
+    if path.endswith(".spc") or path.endswith(".csv"):
+        return iter_spc(path)
+    return iter_disksim(path)
 
 
 def write_spc(requests: Iterable[TraceRequest], handle: TextIO, asu: int = 0) -> None:

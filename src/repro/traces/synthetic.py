@@ -18,68 +18,34 @@ Mechanics: Poisson arrivals at the spec's rate; addresses drawn from a
 Zipfian distribution over shuffled fixed-size chunks of the footprint
 (temporal locality without spatial adjacency of hot data), with a
 configurable fraction of sequential continuation; request sizes from a
-discrete mixture matching the published mean.
+discrete mixture matching the published mean.  A dedicated sequential
+cursor advances only on sequential continuations and wraps at the
+footprint, so the sequential stream is a genuine contiguous run rather
+than a continuation of whatever the last random request touched.
+
+Generation itself lives in :mod:`repro.traces.stream` as a chunked,
+O(chunk)-memory iterator; :func:`generate` materializes it, so the
+streamed and materialized paths are bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
-
 from repro.traces.model import KB, SizeMix, TraceRequest, WorkloadSpec
-from repro.traces.zipf import ZipfSampler
+from repro.traces.stream import stream_workload
 
 MB = 1024 * KB
 
 
 def generate(spec: WorkloadSpec) -> List[TraceRequest]:
-    """Produce a reproducible trace matching ``spec``."""
-    rng = np.random.default_rng(spec.seed)
-    n = spec.num_requests
+    """Produce a reproducible trace matching ``spec``.
 
-    interarrivals = rng.exponential(spec.mean_interarrival_us, size=n)
-    arrivals = np.cumsum(interarrivals)
-
-    weights = np.asarray(spec.size_mix.weights, dtype=np.float64)
-    weights = weights / weights.sum()
-    sizes = rng.choice(np.asarray(spec.size_mix.sizes), size=n, p=weights)
-
-    is_write = rng.random(n) < spec.write_fraction
-
-    num_chunks = max(1, spec.footprint_bytes // spec.chunk_bytes)
-    zipf = ZipfSampler(num_chunks, spec.zipf_theta, rng)
-    # Shuffle rank->chunk so the hot set is scattered over the footprint.
-    chunk_of_rank = rng.permutation(num_chunks)
-    ranks = zipf.sample(n)
-    chunks = chunk_of_rank[ranks]
-    within = rng.integers(0, max(1, spec.chunk_bytes // spec.align_bytes), size=n)
-    offsets = chunks.astype(np.int64) * spec.chunk_bytes + within * spec.align_bytes
-
-    sequential = rng.random(n) < spec.sequential_fraction
-
-    requests: List[TraceRequest] = []
-    cursor = 0
-    limit = spec.footprint_bytes
-    for i in range(n):
-        size = int(sizes[i])
-        if sequential[i] and cursor + size <= limit:
-            offset = cursor
-        else:
-            offset = int(offsets[i])
-            if offset + size > limit:
-                offset = max(0, limit - size)
-            offset -= offset % spec.align_bytes
-        cursor = offset + size
-        requests.append(
-            TraceRequest(
-                arrival_us=float(arrivals[i]),
-                offset_bytes=offset,
-                size_bytes=size,
-                is_write=bool(is_write[i]),
-            )
-        )
-    return requests
+    Equivalent to ``list(stream_workload(spec))`` — for traces too
+    large to hold in memory, iterate :func:`repro.traces.stream.
+    stream_workload` directly instead.
+    """
+    return list(stream_workload(spec))
 
 
 # ---- calibrated workloads -----------------------------------------------------

@@ -130,3 +130,76 @@ def test_power_cycle_loses_unflushed_buffer(small_geometry):
     ssd.power_cycle()
     assert not ssd.ftl.is_mapped(5)  # the write is gone, consistently
     ssd.verify()
+
+
+@pytest.mark.parametrize("stride", [2, 3, 4, 7, 16, 512])
+def test_precondition_strided_covers_distinct_lpns(small_geometry, stride):
+    """Strided preconditioning must honor fill_fraction for any stride.
+
+    Regression: the old ``(i * stride) % num_lpns`` walk cycles after
+    ``num_lpns / gcd(stride, num_lpns)`` steps — on this power-of-two
+    space stride=2 used to rewrite half the LPNs twice and cover only
+    50% of the requested fill.
+    """
+    ssd = SimulatedSSD(small_geometry, ftl="pagemap")
+    ssd.precondition(0.5, stride=stride)
+    count = int(small_geometry.num_lpns * 0.5)
+    assert len(ssd.ftl.mapped_lpns()) == count
+    ssd.verify()
+
+
+def test_reset_measurements_clears_all_component_stats(small_geometry):
+    """The measurement boundary must zero *every* stats accumulator:
+    controller, FTL host counters, write buffer, and fault accounting —
+    while physical state survives."""
+    import random
+
+    from repro.faults import FaultConfig
+
+    ssd = SimulatedSSD(
+        small_geometry,
+        ftl="dloop",
+        write_buffer_pages=16,
+        faults=FaultConfig.moderate(seed=3),
+    )
+    rng = random.Random(9)
+    requests, t = [], 0.0
+    for _ in range(300):
+        t += rng.expovariate(1 / 500.0)
+        requests.append(
+            IoRequest(t, rng.randrange(int(small_geometry.num_lpns * 0.6)), 1,
+                      IoOp.WRITE if rng.random() < 0.8 else IoOp.READ)
+        )
+    ssd.run(requests)
+    ssd.flush()
+    assert ssd.ftl.stats.host_writes > 0
+    assert ssd.write_buffer.stats.write_hits + ssd.write_buffer.stats.write_misses > 0
+    fault_activity = ssd.faults.stats.program_failures + ssd.faults.stats.read_retries
+    utilization_before = ssd.ftl.array.utilization()
+
+    ssd.reset_measurements()
+
+    assert ssd.stats.count == 0
+    assert ssd.controller.peak_outstanding == 0
+    assert ssd.ftl.stats.host_writes == 0 and ssd.ftl.stats.host_reads == 0
+    assert ssd.ftl.gc_stats.invocations == 0
+    assert ssd.write_buffer.stats.write_hits == 0
+    assert ssd.write_buffer.stats.write_misses == 0
+    assert ssd.write_buffer.stats.evictions == 0
+    assert ssd.faults.stats.program_failures == 0
+    assert ssd.faults.stats.read_retries == 0
+    assert ssd.faults.stats.sites == []
+    # physical state is untouched
+    assert ssd.ftl.array.utilization() == utilization_before
+    assert fault_activity >= 0  # (ran; counters may legitimately be zero)
+    ssd.verify()
+
+
+def test_reset_measurements_preserves_streaming_stats_type(small_geometry):
+    from repro.metrics.streaming import StreamingRequestStats
+
+    ssd = SimulatedSSD(small_geometry, ftl="pagemap")
+    ssd.controller.stats = StreamingRequestStats()
+    ssd.reset_measurements()
+    assert isinstance(ssd.stats, StreamingRequestStats)
+    assert ssd.stats.count == 0

@@ -1,0 +1,375 @@
+"""Streaming workload pipeline: generation identity, admission window,
+parser duality, streaming stats, and bounded-memory behaviour."""
+
+import random
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.controller.device import SimulatedSSD
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import TimingParams
+from repro.metrics.streaming import (
+    DeterministicReservoir,
+    RunningMoments,
+    StreamingRequestStats,
+)
+from repro.perf.fingerprint import engine_fingerprint, ftl_fingerprint
+from repro.sim.request import IoOp
+from repro.traces.model import KB, SizeMix, WorkloadSpec
+from repro.traces.parser import (
+    iter_disksim,
+    iter_spc,
+    iter_trace_file,
+    parse_disksim,
+    parse_spc,
+    write_disksim,
+    write_spc,
+)
+from repro.traces.stream import io_requests, stream_workload
+from repro.traces.synthetic import financial1, generate
+
+MB = 1024 * KB
+
+
+def small_spec(n=2000, seed=7, **overrides):
+    base = dict(
+        name="t",
+        num_requests=n,
+        write_fraction=0.6,
+        request_rate_per_s=2000.0,
+        size_mix=SizeMix((2 * KB, 4 * KB), (0.5, 0.5)),
+        footprint_bytes=4 * MB,
+        sequential_fraction=0.1,
+        zipf_theta=0.9,
+        chunk_bytes=64 * KB,
+        seed=seed,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+# ---- generation identity ----------------------------------------------------
+
+
+def test_stream_equals_generate():
+    spec = financial1(num_requests=4000)
+    assert list(stream_workload(spec)) == generate(spec)
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 113, 2000, 50_000])
+def test_chunk_size_never_changes_the_trace(chunk):
+    spec = small_spec()
+    assert list(stream_workload(spec, chunk_requests=chunk)) == generate(spec)
+
+
+def test_bad_chunk_rejected():
+    with pytest.raises(ValueError):
+        next(stream_workload(small_spec(), chunk_requests=0))
+
+
+def test_different_seeds_differ():
+    assert generate(small_spec(seed=1)) != generate(small_spec(seed=2))
+
+
+# ---- sequential-continuation cursor (bugfix) --------------------------------
+
+
+def test_pure_sequential_stream_is_one_contiguous_chain():
+    spec = small_spec(n=500, sequential_fraction=1.0,
+                      size_mix=SizeMix.fixed(4 * KB), footprint_bytes=1 * MB)
+    cursor = 0
+    wraps = 0
+    for r in stream_workload(spec):
+        if cursor + r.size_bytes > spec.footprint_bytes:
+            cursor = 0
+            wraps += 1
+        assert r.offset_bytes == cursor
+        cursor += r.size_bytes
+    # 500 x 4 KB through a 1 MB footprint must wrap (regression: the old
+    # generator silently degraded near-limit sequential requests to
+    # random ones instead of wrapping).
+    assert wraps >= 1
+
+
+def test_sequential_cursor_survives_random_interleaving():
+    """Sequential requests chain with each other, not with whatever the
+    last random request touched (the old single-cursor bug)."""
+    spec = small_spec(n=5000, sequential_fraction=0.5)
+    cursor = 0
+    chained = 0
+    for r in stream_workload(spec):
+        expected = 0 if cursor + r.size_bytes > spec.footprint_bytes else cursor
+        if r.offset_bytes == expected:
+            cursor = expected + r.size_bytes
+            chained += 1
+    # ~half the trace must form the contiguous chain; with one shared
+    # cursor the chain is broken by every random request and this
+    # fraction collapses towards zero.
+    assert chained >= spec.num_requests * 0.4
+
+
+def test_arrivals_strictly_increase():
+    last = -1.0
+    for r in stream_workload(small_spec(n=1000)):
+        assert r.arrival_us > last
+        last = r.arrival_us
+
+
+# ---- streaming file parsers -------------------------------------------------
+
+
+def _mini_trace():
+    spec = small_spec(n=200)
+    return generate(spec)
+
+
+def test_iter_spc_matches_parse_spc(tmp_path):
+    path = str(tmp_path / "t.spc")
+    with open(path, "w", encoding="ascii") as handle:
+        write_spc(_mini_trace(), handle)
+    assert list(iter_spc(path)) == parse_spc(path)
+
+
+def test_iter_disksim_matches_parse_disksim(tmp_path):
+    path = str(tmp_path / "t.dis")
+    with open(path, "w", encoding="ascii") as handle:
+        write_disksim(_mini_trace(), handle)
+    assert list(iter_disksim(path)) == parse_disksim(path)
+
+
+def test_iter_trace_file_dispatches_by_extension(tmp_path):
+    trace = _mini_trace()
+    spc = str(tmp_path / "t.spc")
+    dis = str(tmp_path / "t.trace")
+    with open(spc, "w", encoding="ascii") as handle:
+        write_spc(trace, handle)
+    with open(dis, "w", encoding="ascii") as handle:
+        write_disksim(trace, handle)
+    assert list(iter_trace_file(spc)) == parse_spc(spc)
+    assert list(iter_trace_file(dis)) == parse_disksim(dis)
+
+
+# ---- streamed replay == materialized replay ---------------------------------
+
+
+REPLAY_GEOMETRY = SSDGeometry.from_capacity(8 * MB)
+
+
+def _replay_spec(n=1200):
+    return small_spec(n=n, footprint_bytes=4 * MB, seed=11)
+
+
+def _materialized_run(ftl_name):
+    spec = _replay_spec()
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl=ftl_name)
+    ssd.precondition(0.6)
+    capacity = REPLAY_GEOMETRY.capacity_bytes
+    requests = []
+    for r in generate(spec):
+        offset = r.offset_bytes % capacity
+        size = min(r.size_bytes, capacity - offset)
+        requests.append(ssd.byte_request(
+            r.arrival_us, offset, size, IoOp.WRITE if r.is_write else IoOp.READ
+        ))
+    end = ssd.run(requests)
+    fp = ftl_fingerprint(ssd.ftl, end)
+    fp.update(engine_fingerprint(ssd.engine))
+    return fp, ssd.stats
+
+
+@pytest.mark.parametrize("ftl_name", ["dloop", "dftl", "fast"])
+def test_unbounded_stream_is_fingerprint_identical(ftl_name):
+    spec = _replay_spec()
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl=ftl_name)
+    ssd.precondition(0.6)
+    end = ssd.run_stream(io_requests(stream_workload(spec), REPLAY_GEOMETRY))
+    fp = ftl_fingerprint(ssd.ftl, end)
+    fp.update(engine_fingerprint(ssd.engine))
+
+    ref_fp, ref_stats = _materialized_run(ftl_name)
+    assert fp == ref_fp
+    assert ssd.stats.count == ref_stats.count
+    assert ssd.stats.pages_written == ref_stats.pages_written
+    assert ssd.stats.pages_read == ref_stats.pages_read
+    # Welford mean vs np.mean of the full series: same data, so equal
+    # to float accumulation noise.
+    assert ssd.stats.mean_response_us() == pytest.approx(
+        ref_stats.mean_response_us(), rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("ftl_name", ["dloop", "dftl", "fast"])
+def test_bounded_queue_depth_stays_legal(ftl_name):
+    """NCQ admission changes timing only — FTL state stays coherent
+    (sanitized run), every request completes, and the window bound
+    actually binds."""
+    spec = _replay_spec(n=800)
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl=ftl_name, sanitize=True)
+    try:
+        ssd.precondition(0.6)
+        ssd.run_stream(
+            io_requests(stream_workload(spec), REPLAY_GEOMETRY), queue_depth=4
+        )
+    finally:
+        report = ssd.sanitizer.finalize()  # detaches from the global BUS
+    assert report["violations"] == 0
+    assert ssd.stats.count == spec.num_requests
+    assert 1 <= ssd.controller.peak_outstanding <= 4
+    ssd.verify()
+
+
+def test_queue_depth_one_serializes():
+    spec = _replay_spec(n=300)
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ssd.precondition(0.6)
+    ssd.run_stream(
+        io_requests(stream_workload(spec), REPLAY_GEOMETRY), queue_depth=1
+    )
+    assert ssd.stats.count == spec.num_requests
+    assert ssd.controller.peak_outstanding == 1
+
+
+def test_bad_queue_depth_rejected():
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    with pytest.raises(ValueError):
+        ssd.run_stream(iter(()), queue_depth=0)
+
+
+def test_run_stream_keeps_list_stats_when_asked():
+    from repro.controller.controller import RequestStats
+
+    spec = _replay_spec(n=200)
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ssd.run_stream(
+        io_requests(stream_workload(spec), REPLAY_GEOMETRY),
+        streaming_stats=False,
+    )
+    assert isinstance(ssd.stats, RequestStats)
+    assert len(ssd.stats.response_us) == spec.num_requests
+
+
+# ---- experiment runner integration ------------------------------------------
+
+
+def test_run_workload_stream_mode():
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_workload
+
+    spec = _replay_spec(n=600)
+    config = ExperimentConfig(geometry=REPLAY_GEOMETRY, ftl="dloop",
+                              precondition_fill=0.6)
+    result = run_workload(spec, config, stream=True, queue_depth=8)
+    assert result.num_requests == spec.num_requests
+    assert result.mean_response_ms > 0
+    assert result.extras["stream"]["queue_depth"] == 8
+    assert 1 <= result.extras["stream"]["peak_outstanding"] <= 8
+
+    # Unbounded stream mode reports the same means as the materialized
+    # runner (exact moments vs full-series numpy).
+    streamed = run_workload(spec, config, stream=True)
+    materialized = run_workload(spec, config)
+    assert streamed.num_requests == materialized.num_requests
+    assert streamed.mean_response_ms == pytest.approx(
+        materialized.mean_response_ms, rel=1e-9
+    )
+    assert streamed.p99_response_ms == pytest.approx(
+        materialized.p99_response_ms, rel=1e-9
+    )
+
+
+def test_run_simulation_stream_rejects_crash():
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_simulation
+
+    config = ExperimentConfig(geometry=REPLAY_GEOMETRY, ftl="dloop")
+    with pytest.raises(ValueError):
+        run_simulation(iter(()), config, stream=True, crash_at_us=100.0)
+
+
+# ---- streaming stats --------------------------------------------------------
+
+
+def test_running_moments_match_numpy():
+    rng = random.Random(3)
+    xs = [rng.expovariate(1 / 250.0) for _ in range(5000)]
+    m = RunningMoments()
+    for x in xs:
+        m.push(x)
+    assert m.count == len(xs)
+    assert m.mean == pytest.approx(float(np.mean(xs)), rel=1e-12)
+    assert m.std == pytest.approx(float(np.std(xs)), rel=1e-9)
+    assert m.min == min(xs)
+    assert m.max == max(xs)
+
+
+def test_reservoir_exact_until_capacity():
+    r = DeterministicReservoir(capacity=1000)
+    xs = list(range(1000))
+    for x in xs:
+        r.push(float(x))
+    assert r.exact
+    assert r.percentile(50) == float(np.percentile(xs, 50))
+    assert r.percentile(99) == float(np.percentile(xs, 99))
+
+
+def test_reservoir_is_deterministic_and_bounded():
+    def fill():
+        r = DeterministicReservoir(capacity=64)
+        for x in range(10_000):
+            r.push(float(x))
+        return r
+
+    a, b = fill(), fill()
+    assert len(a.values) == 64 and not a.exact
+    assert a.values == b.values
+    assert a.percentile(50) == b.percentile(50)
+    # A uniform sample of 0..9999 should roughly centre its median.
+    assert 2000 < a.percentile(50) < 8000
+
+
+def test_reservoir_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        DeterministicReservoir(capacity=0)
+
+
+def test_streaming_request_stats_summary():
+    stats = StreamingRequestStats()
+    stats.observe(100.0, is_write=True)
+    stats.observe(300.0, is_write=False)
+    assert stats.count == 2
+    assert stats.writes.count == 1 and stats.reads.count == 1
+    assert stats.mean_response_us() == pytest.approx(200.0)
+    assert stats.mean_response_ms() == pytest.approx(0.2)
+    summary = stats.summary()
+    assert summary["requests"] == 2
+    assert summary["min_us"] == 100.0 and summary["max_us"] == 300.0
+    assert summary["reservoir_exact"] is True
+
+
+# ---- bounded memory ---------------------------------------------------------
+
+
+def test_stream_generation_memory_is_o_chunk():
+    """Iterating the stream must not accumulate O(trace) state."""
+    spec = small_spec(n=40_000)
+
+    tracemalloc.start()
+    count = 0
+    for _ in stream_workload(spec, chunk_requests=1024):
+        count += 1
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert count == spec.num_requests
+
+    tracemalloc.start()
+    materialized = generate(spec)
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(materialized) == spec.num_requests
+
+    # The lazy path holds one 1024-request block; the materialized path
+    # holds 40k TraceRequest objects.  Require a decisive gap so the
+    # test stays robust to allocator noise.
+    assert stream_peak < full_peak / 4
