@@ -1,0 +1,140 @@
+"""Ranked per-FTL conformance reports (JSON + ASCII).
+
+:func:`build_report` folds scenario outcomes into one JSON-safe dict:
+per FTL, each contract rule's mean score over the scenarios that
+exercised it, the worst-offender scenarios for that rule, and an
+overall score (mean of the FTL's exercised rule means) that drives the
+ranking.  Determinism matters more than statistics here — outcomes
+arrive in scenario order, every float is rounded before aggregation,
+and ties rank alphabetically, so the same matrix and seed always
+produce byte-identical :func:`report_json` output (CI asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.conformance.matrix import ScenarioMatrix
+from repro.conformance.rules import RULE_ORDER
+from repro.conformance.runner import ScenarioOutcome
+from repro.metrics.ascii_chart import hbar_chart
+from repro.metrics.report import format_table
+
+SCHEMA = "repro-conformance-report/v1"
+
+#: How many lowest-scoring scenarios to surface per (FTL, rule).
+WORST_OFFENDERS = 3
+
+
+def build_report(
+    outcomes: Sequence[ScenarioOutcome],
+    matrix: ScenarioMatrix,
+) -> dict:
+    """Aggregate outcomes into the ranked per-FTL report dict."""
+    by_ftl: Dict[str, List[ScenarioOutcome]] = {}
+    for outcome in outcomes:
+        by_ftl.setdefault(outcome.scenario.ftl, []).append(outcome)
+
+    ftl_entries: Dict[str, dict] = {}
+    for ftl in sorted(by_ftl):
+        runs = by_ftl[ftl]
+        rules: Dict[str, dict] = {}
+        rule_means: List[float] = []
+        for rule in RULE_ORDER:
+            scored = [
+                (outcome.rules[rule]["score"], outcome.scenario.scenario_id)
+                for outcome in runs
+                if rule in outcome.rules and outcome.rules[rule]["exercised"]
+            ]
+            if scored:
+                mean = round(sum(s for s, _ in scored) / len(scored), 6)
+                rule_means.append(mean)
+                worst = sorted(scored)[:WORST_OFFENDERS]
+                rules[rule] = {
+                    "score": mean,
+                    "scenarios": len(scored),
+                    "exercised": True,
+                    "worst_offenders": [
+                        {"scenario": sid, "score": round(score, 6)}
+                        for score, sid in worst
+                    ],
+                }
+            else:
+                rules[rule] = {
+                    "score": None,
+                    "scenarios": 0,
+                    "exercised": False,
+                    "worst_offenders": [],
+                }
+        overall = round(sum(rule_means) / len(rule_means), 6) if rule_means else None
+        ftl_entries[ftl] = {
+            "overall": overall,
+            "rules": rules,
+            "scenarios": len(runs),
+        }
+
+    # Rank by overall score (descending); unscored FTLs sink to the
+    # bottom; ties break alphabetically so the order is total.
+    ranking = sorted(
+        ftl_entries,
+        key=lambda name: (
+            ftl_entries[name]["overall"] is None,
+            -(ftl_entries[name]["overall"] or 0.0),
+            name,
+        ),
+    )
+    for rank, name in enumerate(ranking, start=1):
+        ftl_entries[name]["rank"] = rank
+
+    return {
+        "schema": SCHEMA,
+        "matrix": matrix.describe(),
+        "num_scenarios": len(outcomes),
+        "rules": list(RULE_ORDER),
+        "ftls": ftl_entries,
+        "ranking": ranking,
+        "outcomes": [outcome.as_dict() for outcome in outcomes],
+    }
+
+
+def report_json(report: dict) -> str:
+    """Canonical serialization — byte-identical for identical inputs."""
+    return json.dumps(report, sort_keys=True, indent=2)
+
+
+def render_report(report: dict) -> str:
+    """Human-readable ranked table + bar chart + worst offenders."""
+    rows = []
+    for name in report["ranking"]:
+        entry = report["ftls"][name]
+        row = {"rank": entry["rank"], "ftl": name}
+        for rule in report["rules"]:
+            score = entry["rules"][rule]["score"]
+            row[rule] = score if score is not None else "n/a"
+        row["overall"] = entry["overall"] if entry["overall"] is not None else "n/a"
+        rows.append(row)
+    sections = [
+        format_table(rows, title="Contract conformance by FTL "
+                                 f"({report['num_scenarios']} scenarios)"),
+        "",
+        hbar_chart(
+            {
+                name: report["ftls"][name]["overall"] or 0.0
+                for name in report["ranking"]
+            },
+            title="overall conformance (1.0 = honors every rule)",
+        ),
+    ]
+    offender_lines = []
+    for name in report["ranking"]:
+        for rule in report["rules"]:
+            worst = report["ftls"][name]["rules"][rule]["worst_offenders"]
+            if worst and worst[0]["score"] is not None and worst[0]["score"] < 0.5:
+                offender_lines.append(
+                    f"  {name} / {rule}: "
+                    + ", ".join(f"{w['scenario']} ({w['score']:.3f})" for w in worst)
+                )
+    if offender_lines:
+        sections += ["", "worst offenders (rule score < 0.5):", *offender_lines]
+    return "\n".join(sections)

@@ -1,0 +1,475 @@
+"""Streaming contract probes: TraceBus subscribers scoring SSD rules.
+
+The "unwritten contract" of SSDs (WiscSee; see docs/conformance.md)
+says a workload/FTL pair performs well when it
+
+* spreads each multi-page request over planes/channels that work
+  concurrently (**request-scale parallelism** — the rule LFTL's
+  parallel multi-queue front end is built around),
+* keeps the mapping-cache working set small (**locality**),
+* writes sequentially from block-aligned write points (**aligned
+  sequentiality**),
+* groups data that dies together so GC victims carry few live pages
+  (**grouping by death time** — Dayan & Bonnet's GC taxonomy).
+
+Each probe is a :class:`~repro.obs.tracebus.TraceBus` subscriber that
+folds the event stream into O(1)/bounded state (Welford moments, a
+seeded reservoir, a k-minimum-values sketch) and reports one scored
+:class:`RuleResult`.  Probes never mutate simulation state — attaching
+them must leave run fingerprints bit-identical, exactly like the Chrome
+trace exporter.
+
+Scores are in [0, 1] (1 = fully conformant); a rule the run never
+exercised (e.g. no GC, so no victims) reports ``score=None`` and
+``exercised=False`` so aggregation can skip it instead of rewarding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.conformance.sketches import KmvDistinctCounter
+from repro.metrics.streaming import DeterministicReservoir, RunningMoments
+from repro.obs.tracebus import BUS, TraceBus, TraceEvent
+
+#: Canonical rule ordering for reports.
+RULE_ORDER = (
+    "request_scale_parallelism",
+    "locality",
+    "aligned_sequentiality",
+    "death_time_grouping",
+)
+
+
+def _round(value: Any, digits: int = 6) -> Any:
+    """Round floats (recursively) so report JSON is compact and stable."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: _round(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round(v, digits) for v in value]
+    return value
+
+
+@dataclass
+class RuleResult:
+    """One probe's verdict for one run."""
+
+    rule: str
+    score: Optional[float]
+    exercised: bool
+    description: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "score": _round(self.score),
+            "exercised": self.exercised,
+            "description": self.description,
+            "details": _round(self.details),
+        }
+
+
+class ContractProbe:
+    """Base class: a bus subscriber that scores one contract rule."""
+
+    rule = "abstract"
+    description = ""
+
+    def __init__(self) -> None:
+        self._bus: Optional[TraceBus] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, bus: Optional[TraceBus] = None) -> "ContractProbe":
+        if self._bus is not None:
+            raise RuntimeError(f"probe {self.rule!r} already attached")
+        self._bus = bus if bus is not None else BUS
+        self._bus.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    # -- the subscriber / result surface -----------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def result(self) -> RuleResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: request-scale parallelism
+# ---------------------------------------------------------------------------
+
+
+class RequestScaleParallelismProbe(ContractProbe):
+    """Do a multi-page request's flash ops overlap across planes?
+
+    The controller brackets every request's synchronous dispatch with
+    ``host/io_begin`` .. ``host/io_dispatch`` instants, and the
+    simulator is single-threaded, so every flash command span emitted
+    in between belongs to that request's service (including any GC it
+    triggered — foreground GC *is* part of serving it).  A request is
+    *evaluable* when its service needed at least two flash array ops;
+    it is *parallel* when two of those ops on different planes overlap
+    in simulated time.  Score: parallel / evaluable.
+    """
+
+    rule = "request_scale_parallelism"
+    description = ("fraction of multi-page requests whose flash ops "
+                   "overlap in time across planes")
+
+    _FLASH_OPS = ("read", "program", "copy_back", "erase")
+
+    def __init__(self, min_pages: int = 2, max_tracked_ops: int = 4096):
+        super().__init__()
+        self.min_pages = min_pages
+        self.max_tracked_ops = max_tracked_ops
+        self.multi_requests = 0
+        self.evaluable = 0
+        self.parallel = 0
+        self.truncated = 0
+        self.planes_touched = RunningMoments()
+        self.channels_touched = RunningMoments()
+        self._active = False
+        self._ops: List[Tuple[float, float, int]] = []
+        self._channels: set = set()
+
+    def __call__(self, event: TraceEvent) -> None:
+        category = event.category
+        if category == "host":
+            if event.name == "io_begin":
+                # A nested begin cannot happen (dispatch is synchronous);
+                # reset defensively anyway.
+                self._active = (event.args or {}).get("pages", 1) >= self.min_pages
+                if self._active:
+                    self.multi_requests += 1
+                    self._ops.clear()
+                    self._channels.clear()
+            elif event.name == "io_dispatch" and self._active:
+                self._finish()
+                self._active = False
+        elif self._active and category == "flash" and event.name in self._FLASH_OPS:
+            args = event.args or {}
+            plane = args.get("plane")
+            if plane is None:
+                return
+            if "channel" in args:
+                self._channels.add(args["channel"])
+            if len(self._ops) < self.max_tracked_ops:
+                self._ops.append((event.ts_us, event.ts_us + event.duration_us, plane))
+            else:
+                self.truncated += 1
+
+    def _finish(self) -> None:
+        ops = self._ops
+        planes = {p for _, _, p in ops}
+        self.planes_touched.push(float(len(planes)))
+        self.channels_touched.push(float(len(self._channels)))
+        if len(ops) < 2:
+            return
+        self.evaluable += 1
+        if len(planes) < 2:
+            return
+        # Sweep in start order; an op overlaps a different plane's op iff
+        # it starts before the latest end seen on some other plane.  Track
+        # the two best (max-end) intervals on distinct planes so the
+        # check stays O(1) per op.
+        ops.sort()
+        best_end, best_plane = -1.0, None
+        second_end = -1.0  # max end among planes != best_plane
+        for start, end, plane in ops:
+            limit = second_end if plane == best_plane else best_end
+            if start < limit:
+                self.parallel += 1
+                return
+            if plane == best_plane:
+                best_end = max(best_end, end)
+            elif end >= best_end:
+                if best_plane is not None:
+                    second_end = max(second_end, best_end)
+                best_end, best_plane = end, plane
+            else:
+                second_end = max(second_end, end)
+
+    def result(self) -> RuleResult:
+        exercised = self.evaluable > 0
+        score = self.parallel / self.evaluable if exercised else None
+        return RuleResult(
+            rule=self.rule,
+            score=score,
+            exercised=exercised,
+            description=self.description,
+            details={
+                "multi_page_requests": self.multi_requests,
+                "evaluable_requests": self.evaluable,
+                "parallel_requests": self.parallel,
+                "mean_planes_per_request": self.planes_touched.mean,
+                "mean_channels_per_request": self.channels_touched.mean,
+                "truncated_ops": self.truncated,
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: locality
+# ---------------------------------------------------------------------------
+
+
+class LocalityProbe(ContractProbe):
+    """Does the mapping cache absorb the LPN working set?
+
+    With a demand-paged mapping (DLOOP/DFTL emit ``cmt`` hit/miss
+    events) the score is the hit ratio over *capacity* misses only: the
+    first touch of an LPN is a compulsory miss no cache avoids, so
+    misses are discounted by a deterministic distinct-LPN estimate
+    (k-minimum-values sketch).  FTLs without a CMT fall back to a
+    host-level reuse score: the fraction of re-accesses that land in a
+    bounded recency window over request start LPNs.
+    """
+
+    rule = "locality"
+    description = ("mapping-cache hit behaviour vs. the LPN working "
+                   "set (capacity misses only)")
+
+    def __init__(self, window: int = 4096, sketch_k: int = 1024):
+        super().__init__()
+        self.window = window
+        self.cmt_hits = 0
+        self.cmt_misses = 0
+        self._missed_lpns = KmvDistinctCounter(sketch_k, salt=0x10CA117)
+        self.host_accesses = 0
+        self.host_window_hits = 0
+        self._recent: Dict[int, None] = {}  # insertion-ordered LRU window
+        self._host_lpns = KmvDistinctCounter(sketch_k, salt=0x405717)
+
+    def __call__(self, event: TraceEvent) -> None:
+        category = event.category
+        if category == "cmt":
+            if event.name == "hit":
+                self.cmt_hits += 1
+            elif event.name == "miss":
+                self.cmt_misses += 1
+                lpn = (event.args or {}).get("lpn")
+                if lpn is not None:
+                    self._missed_lpns.add(lpn)
+        elif category == "host" and event.name == "io_begin":
+            lpn = (event.args or {}).get("lpn")
+            if lpn is None:
+                return
+            self.host_accesses += 1
+            self._host_lpns.add(lpn)
+            recent = self._recent
+            if lpn in recent:
+                self.host_window_hits += 1
+                del recent[lpn]  # re-insert as most recent
+            elif len(recent) >= self.window:
+                recent.pop(next(iter(recent)))
+            recent[lpn] = None
+
+    def result(self) -> RuleResult:
+        lookups = self.cmt_hits + self.cmt_misses
+        if lookups:
+            distinct = self._missed_lpns.estimate()
+            capacity_misses = max(0.0, self.cmt_misses - distinct)
+            denominator = self.cmt_hits + capacity_misses
+            score = min(1.0, self.cmt_hits / denominator) if denominator else 1.0
+            mode = "mapping-cache"
+        elif self.host_accesses:
+            distinct = self._host_lpns.estimate()
+            reuses = max(1.0, self.host_accesses - distinct)
+            score = min(1.0, self.host_window_hits / reuses)
+            mode = "host-reuse"
+        else:
+            return RuleResult(self.rule, None, False, self.description,
+                              {"mode": "idle"})
+        return RuleResult(
+            rule=self.rule,
+            score=score,
+            exercised=True,
+            description=self.description,
+            details={
+                "mode": mode,
+                "cmt_hits": self.cmt_hits,
+                "cmt_misses": self.cmt_misses,
+                "distinct_missed_lpns": self._missed_lpns.estimate(),
+                "host_accesses": self.host_accesses,
+                "host_window_hits": self.host_window_hits,
+                "distinct_host_lpns": self._host_lpns.estimate(),
+                "window": self.window,
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: aligned sequentiality
+# ---------------------------------------------------------------------------
+
+
+class AlignedSequentialityProbe(ContractProbe):
+    """Do writes continue a run or start on a block boundary?
+
+    A write request conforms when it either continues the previous
+    write exactly (the write pointer keeps moving — hybrid/log FTLs can
+    append) or opens a new run on a block-aligned LPN.  Unaligned run
+    starts and block-straddling requests are the behaviour that forces
+    partial-block merges.  Score: conformant writes / writes.
+    """
+
+    rule = "aligned_sequentiality"
+    description = ("write-pointer behaviour vs. block/plane alignment "
+                   "(sequential continuation or aligned run start)")
+
+    def __init__(self, pages_per_block: int):
+        super().__init__()
+        if pages_per_block < 1:
+            raise ValueError("pages_per_block must be >= 1")
+        self.pages_per_block = pages_per_block
+        self.writes = 0
+        self.continuations = 0
+        self.aligned_starts = 0
+        self.unaligned_starts = 0
+        self.block_straddles = 0
+        self.run_pages = RunningMoments()
+        self._last_end: Optional[int] = None
+        self._run_length = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        if event.category != "host" or event.name != "io_begin":
+            return
+        args = event.args or {}
+        if args.get("op") != "write":
+            return
+        start = args.get("lpn")
+        pages = args.get("pages", 1)
+        if start is None:
+            return
+        self.writes += 1
+        offset = start % self.pages_per_block
+        if offset and offset + pages > self.pages_per_block:
+            self.block_straddles += 1
+        # Integer LPN comparison, not a float timestamp.
+        if self._last_end is not None and start == self._last_end:  # dl: disable=DL104
+            self.continuations += 1
+            self._run_length += pages
+        else:
+            if self._run_length:
+                self.run_pages.push(float(self._run_length))
+            self._run_length = pages
+            if offset == 0:
+                self.aligned_starts += 1
+            else:
+                self.unaligned_starts += 1
+        self._last_end = start + pages
+
+    def result(self) -> RuleResult:
+        if self._run_length:
+            self.run_pages.push(float(self._run_length))
+            self._run_length = 0
+        exercised = self.writes > 0
+        score = (
+            (self.continuations + self.aligned_starts) / self.writes
+            if exercised
+            else None
+        )
+        return RuleResult(
+            rule=self.rule,
+            score=score,
+            exercised=exercised,
+            description=self.description,
+            details={
+                "writes": self.writes,
+                "continuations": self.continuations,
+                "aligned_run_starts": self.aligned_starts,
+                "unaligned_run_starts": self.unaligned_starts,
+                "block_straddles": self.block_straddles,
+                "mean_run_pages": self.run_pages.mean,
+                "pages_per_block": self.pages_per_block,
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: grouping by death time
+# ---------------------------------------------------------------------------
+
+
+class DeathTimeGroupingProbe(ContractProbe):
+    """Do pages erased together die together?
+
+    Perfect grouping means every GC victim is fully dead (zero valid
+    pages to relocate); scattered death times leave victims carrying
+    live data that must be copied before the erase.  The probe folds
+    every ``gc/victim_selected`` event's live fraction into moments and
+    a seeded reservoir.  Score: ``1 - mean(live fraction)``.
+    """
+
+    rule = "death_time_grouping"
+    description = ("live-page scatter at GC victim selection "
+                   "(1 = victims fully dead)")
+
+    def __init__(self, reservoir_size: int = 2048, reservoir_seed: int = 0xDEAD):
+        super().__init__()
+        self.live_fraction = RunningMoments()
+        self.reservoir = DeterministicReservoir(reservoir_size, reservoir_seed)
+        self.victims = 0
+        self.emergency_victims = 0
+        self.dead_victims = 0
+        self._worst: Tuple[float, int, int] = (-1.0, -1, -1)  # (frac, plane, victim)
+
+    def __call__(self, event: TraceEvent) -> None:
+        if event.category != "gc" or event.name != "victim_selected":
+            return
+        args = event.args or {}
+        valid = args.get("valid", 0)
+        invalid = args.get("invalid", 0)
+        total = valid + invalid
+        fraction = valid / total if total else 0.0
+        self.victims += 1
+        if args.get("emergency"):
+            self.emergency_victims += 1
+        if valid == 0:
+            self.dead_victims += 1
+        self.live_fraction.push(fraction)
+        self.reservoir.push(fraction)
+        if fraction > self._worst[0]:
+            self._worst = (fraction, args.get("plane", -1), args.get("victim", -1))
+
+    def result(self) -> RuleResult:
+        exercised = self.victims > 0
+        score = 1.0 - self.live_fraction.mean if exercised else None
+        details: Dict[str, Any] = {
+            "victims": self.victims,
+            "dead_victims": self.dead_victims,
+            "emergency_victims": self.emergency_victims,
+            "mean_live_fraction": self.live_fraction.mean,
+            "p95_live_fraction": self.reservoir.percentile(95),
+        }
+        if exercised:
+            details["worst_victim"] = {
+                "live_fraction": self._worst[0],
+                "plane": self._worst[1],
+                "block": self._worst[2],
+            }
+        return RuleResult(self.rule, score, exercised, self.description, details)
+
+
+# ---------------------------------------------------------------------------
+
+
+def default_probes(geometry) -> List[ContractProbe]:
+    """The standard four-rule probe set for one run on ``geometry``."""
+    return [
+        RequestScaleParallelismProbe(),
+        LocalityProbe(),
+        AlignedSequentialityProbe(geometry.pages_per_block),
+        DeathTimeGroupingProbe(),
+    ]

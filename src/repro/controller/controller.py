@@ -172,6 +172,16 @@ class Controller:
         now = self.engine.now
         if BUS.enabled:
             BUS.counter("queue_depth", now, {"outstanding": self.outstanding})
+            # Bracket the synchronous dispatch below: every flash event
+            # emitted between io_begin and io_dispatch belongs to this
+            # request's service (the simulator is single-threaded), which
+            # is what gives conformance probes a per-request window.
+            BUS.emit(
+                "host", "io_begin", now, 0.0,
+                {"lpn": request.start_lpn, "pages": request.page_count,
+                 "op": request.op.value},
+                "host:0", "i",
+            )
         faults = self.ftl.faults
         if faults is not None:
             retries_before = faults.stats.read_retries + faults.stats.program_failures
@@ -216,6 +226,13 @@ class Controller:
             # never mid-write (mirrors a controller's background task).
             completion = self.ftl.drain_retirements(completion)
         request.completion_us = completion
+        if BUS.enabled:
+            BUS.emit(
+                "host", "io_dispatch", now, 0.0,
+                {"lpn": request.start_lpn, "pages": request.page_count,
+                 "op": request.op.value, "span_us": completion - now},
+                "host:0", "i",
+            )
         self.engine.schedule_at(completion, self._complete, request)
 
     def _complete(self, request: IoRequest) -> None:

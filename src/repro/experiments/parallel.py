@@ -20,18 +20,35 @@ from repro.traces.model import WorkloadSpec
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One simulation of a sweep grid."""
+    """One simulation of a sweep grid.
+
+    Beyond (spec, config), a cell can carry the full replay shape:
+    streaming admission with a queue-depth bound, a picklable fault
+    plan, and ``conformance=True`` to attach the standard contract
+    probes (scored verdicts land in ``result.extras['conformance']``).
+    """
 
     spec: WorkloadSpec
     config: ExperimentConfig
     extras: Optional[Tuple[Tuple[str, object], ...]] = None
+    stream: bool = False
+    queue_depth: Optional[int] = None
+    faults: Optional[object] = None
+    conformance: bool = False
 
     def tagged_extras(self) -> Dict[str, object]:
         return dict(self.extras or ())
 
 
 def _run_cell(cell: SweepCell) -> SimulationResult:
-    result = run_workload(cell.spec, cell.config)
+    result = run_workload(
+        cell.spec,
+        cell.config,
+        stream=cell.stream,
+        queue_depth=cell.queue_depth,
+        faults=cell.faults,
+        conformance=cell.conformance,
+    )
     result.extras.update(cell.tagged_extras())
     return result
 

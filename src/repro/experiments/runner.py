@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -88,6 +88,7 @@ def run_simulation(
     crash_at_us: Optional[float] = None,
     stream: bool = False,
     queue_depth: Optional[int] = None,
+    probes: Optional[Sequence] = None,
 ) -> SimulationResult:
     """Replay a trace through a freshly built (and preconditioned) SSD.
 
@@ -102,7 +103,11 @@ def run_simulation(
     deterministic fault injection (``result.extras['faults']``);
     ``crash_at_us`` power-fails the device at that simulated time,
     recovers it, then replays the rest of the trace on the recovered
-    device (``result.extras['crash']``).
+    device (``result.extras['crash']``);
+    ``probes`` is a sequence of
+    :class:`repro.conformance.rules.ContractProbe` instances attached
+    for the measured run (after preconditioning, like the trace writer)
+    — their scored verdicts land in ``result.extras['conformance']``.
 
     ``stream=True`` replays the trace through
     :meth:`SimulatedSSD.run_stream` without ever materializing it:
@@ -159,15 +164,25 @@ def run_simulation(
             )
             return ssd.run(survivors)
 
-    if trace_path is not None:
-        from repro.obs.chrome_trace import ChromeTraceWriter
+    # Attach probes after preconditioning (same reasoning as the trace
+    # writer below: score the measured run, not the bulk fill).
+    for probe in probes or ():
+        probe.attach()
+    try:
+        if trace_path is not None:
+            from repro.obs.chrome_trace import ChromeTraceWriter
 
-        # Attach after preconditioning so the trace shows the measured
-        # run, not the bulk fill.
-        with ChromeTraceWriter(trace_path).recording():
+            # Attach after preconditioning so the trace shows the measured
+            # run, not the bulk fill.
+            with ChromeTraceWriter(trace_path).recording():
+                end = _drive()
+        else:
             end = _drive()
-    else:
-        end = _drive()
+    finally:
+        for probe in probes or ():
+            probe.detach()
+    if probes:
+        extras["conformance"] = {p.rule: p.result().as_dict() for p in probes}
 
     ftl = ssd.ftl
     stats = ssd.stats
@@ -247,18 +262,31 @@ def run_workload(
     *,
     stream: bool = False,
     queue_depth: Optional[int] = None,
+    faults=None,
+    conformance: bool = False,
+    probes: Optional[Sequence] = None,
 ) -> SimulationResult:
     """Generate a synthetic workload and run it.
 
     ``stream=True`` never materializes the trace: generation and replay
     both run in bounded memory (same requests, same seed — the streamed
     and materialized paths are bit-identical by construction).
+    ``conformance=True`` attaches the standard four contract probes
+    (:func:`repro.conformance.rules.default_probes`) for the measured
+    run; pass ``probes`` to supply a custom set instead.
     """
+    if conformance and probes is None:
+        from repro.conformance.rules import default_probes
+
+        probes = default_probes(config.geometry)
     if stream:
         from repro.traces.stream import stream_workload
 
         return run_simulation(
             stream_workload(spec), config, trace_name=spec.name,
-            stream=True, queue_depth=queue_depth,
+            stream=True, queue_depth=queue_depth, faults=faults, probes=probes,
         )
-    return run_simulation(generate(spec), config, trace_name=spec.name)
+    return run_simulation(
+        generate(spec), config, trace_name=spec.name,
+        queue_depth=queue_depth, faults=faults, probes=probes,
+    )

@@ -321,6 +321,16 @@ class FastFtl(Ftl):
     def _full_merge(self, now: float) -> float:
         """Scrub the oldest RW log block (the costly merge)."""
         victim = self.rw_blocks.popleft()
+        if BUS.enabled:
+            # Same vocabulary as the base GC path: the RW log victim's
+            # live-page count is FAST's death-time-grouping signal.
+            BUS.emit("gc", "victim_selected", now, 0.0,
+                     {"plane": self.codec.block_to_plane(victim),
+                      "victim": victim,
+                      "valid": int(self.array.block_valid[victim]),
+                      "invalid": int(self.array.block_invalid[victim]),
+                      "emergency": False},
+                     None, "i")
         t = now
         lbns = sorted(
             {self.array.owner_of(ppn) // self.pages_per_block

@@ -11,7 +11,14 @@ def format_table(rows: Sequence[Mapping], columns: Iterable[str] | None = None, 
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0])
+        # Union of every row's keys in first-seen order — inferring from
+        # rows[0] alone silently drops columns that first appear later
+        # (sparse rows are common: extras only some cells produce).
+        seen = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
     columns = list(columns)
 
     def cell(value) -> str:

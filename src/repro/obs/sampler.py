@@ -47,6 +47,11 @@ class RunStats:
     flash_programs: List[int] = field(default_factory=list)
     bad_blocks: List[int] = field(default_factory=list)
     fault_events: List[int] = field(default_factory=list)
+    peak_outstanding: List[int] = field(default_factory=list)
+    failed_requests: List[int] = field(default_factory=list)
+    retried_requests: List[int] = field(default_factory=list)
+    total_retries: List[int] = field(default_factory=list)
+    lost_pages: List[int] = field(default_factory=list)
 
     @property
     def samples(self) -> int:
@@ -64,6 +69,11 @@ class RunStats:
             "flash_programs": self.flash_programs,
             "bad_blocks": self.bad_blocks,
             "fault_events": self.fault_events,
+            "peak_outstanding": self.peak_outstanding,
+            "failed_requests": self.failed_requests,
+            "retried_requests": self.retried_requests,
+            "total_retries": self.total_retries,
+            "lost_pages": self.lost_pages,
         }
 
     def summary(self) -> dict:
@@ -77,6 +87,8 @@ class RunStats:
             "low_water_free_blocks": min(self.min_free_blocks),
             "final_copyback_ratio": self.copyback_ratio[-1],
             "final_cmt_entries": self.cmt_entries[-1],
+            "peak_outstanding": self.peak_outstanding[-1],
+            "failed_requests": self.failed_requests[-1],
         }
 
 
@@ -173,6 +185,13 @@ class StatsSampler:
         stats.flash_programs.append(counters.programs)
         stats.bad_blocks.append(bad_blocks)
         stats.fault_events.append(fault_events)
+        controller = self.controller
+        request_stats = controller.stats
+        stats.peak_outstanding.append(controller.peak_outstanding)
+        stats.failed_requests.append(request_stats.failed_requests)
+        stats.retried_requests.append(request_stats.retried_requests)
+        stats.total_retries.append(request_stats.total_retries)
+        stats.lost_pages.append(request_stats.lost_pages)
 
         registry = self.registry
         registry.gauge("queue_depth_now").set(depth)
@@ -181,6 +200,11 @@ class StatsSampler:
         registry.gauge("cmt_entries").set(cmt)
         registry.gauge("copyback_ratio").set(copyback_ratio)
         registry.gauge("bad_blocks_total").set(bad_blocks)
+        registry.gauge("peak_outstanding").set(controller.peak_outstanding)
+        registry.gauge("failed_requests_total").set(request_stats.failed_requests)
+        registry.gauge("retried_requests_total").set(request_stats.retried_requests)
+        registry.gauge("retries_total").set(request_stats.total_retries)
+        registry.gauge("lost_pages_total").set(request_stats.lost_pages)
         if faults is not None:
             registry.gauge("fault_events_total").set(fault_events)
             registry.gauge("fault_lost_pages").set(self.ftl.stats.lost_pages)
@@ -194,6 +218,18 @@ class StatsSampler:
             if hasattr(self.ftl, "cmt"):
                 bus.counter("cmt_entries", now, {"cached": cmt})
             bus.counter("bad_blocks", now, {"retired": bad_blocks})
+            bus.counter("stream", now, {"peak_outstanding": controller.peak_outstanding})
+            if (request_stats.failed_requests or request_stats.retried_requests
+                    or request_stats.lost_pages):
+                # Only once an error path has fired — clean-run traces
+                # keep their track list unchanged.
+                bus.counter(
+                    "host_errors", now,
+                    {"failed": request_stats.failed_requests,
+                     "retried": request_stats.retried_requests,
+                     "retries": request_stats.total_retries,
+                     "lost_pages": request_stats.lost_pages},
+                )
             if faults is not None:
                 bus.counter(
                     "faults", now,

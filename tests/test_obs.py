@@ -258,6 +258,18 @@ def test_counters_copyback_ratio_zero_when_no_moves():
     assert FlashCounters(2, 1).as_dict()["copyback_ratio"] == 0.0
 
 
+def test_counters_copyback_ratio_zero_when_only_controller_moves():
+    counters = FlashCounters(2, 1)
+    counters.interplane_copies = 7
+    assert counters.copyback_ratio == 0.0
+
+
+def test_counters_copyback_ratio_one_when_only_copybacks():
+    counters = FlashCounters(2, 1)
+    counters.copybacks = 5
+    assert counters.copyback_ratio == 1.0
+
+
 def test_counters_reset_in_place():
     counters = FlashCounters(2, 2)
     plane_ops = counters.plane_ops

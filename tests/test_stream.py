@@ -334,6 +334,43 @@ def test_reservoir_rejects_bad_capacity():
         DeterministicReservoir(capacity=0)
 
 
+def test_reservoir_percentile_empty_returns_zero():
+    r = DeterministicReservoir(capacity=16)
+    assert r.exact  # nothing evicted from nothing
+    for q in (0, 50, 99, 100):
+        assert r.percentile(q) == 0.0
+
+
+def test_reservoir_percentile_single_sample():
+    r = DeterministicReservoir(capacity=16)
+    r.push(42.5)
+    for q in (0, 50, 100):
+        assert r.percentile(q) == 42.5
+
+
+def test_reservoir_percentile_q100_is_max_while_exact():
+    r = DeterministicReservoir(capacity=32)
+    xs = [7.0, 1.0, 9.5, 3.25]
+    for x in xs:
+        r.push(x)
+    assert r.percentile(100) == max(xs)
+    assert r.percentile(0) == min(xs)
+
+
+def test_reservoir_exact_to_sampled_crossover():
+    r = DeterministicReservoir(capacity=8)
+    for x in range(8):
+        r.push(float(x))
+    assert r.exact  # at capacity, nothing evicted yet
+    assert r.percentile(100) == 7.0
+    r.push(8.0)  # first overflow: sampling starts
+    assert not r.exact
+    assert len(r.values) == 8  # bounded at capacity
+    # Still a valid sample of what was pushed, whatever was evicted.
+    assert all(0.0 <= v <= 8.0 for v in r.values)
+    assert 0.0 <= r.percentile(50) <= 8.0
+
+
 def test_streaming_request_stats_summary():
     stats = StreamingRequestStats()
     stats.observe(100.0, is_write=True)
