@@ -393,6 +393,49 @@ def cmd_lint(args) -> int:
     return result.exit_code
 
 
+def cmd_schema(args) -> int:
+    from repro.obs import schema
+
+    if args.verify_coverage:
+        from repro.obs.smoke import SCENARIOS, run_coverage_smoke
+
+        names = None
+        if args.scenarios:
+            names = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        try:
+            result = run_coverage_smoke(names)
+        except ValueError as exc:
+            print(f"repro-sim schema: {exc}", file=sys.stderr)
+            return 2
+        print(f"scenarios: {', '.join(result.scenarios)} "
+              f"({len(result.scenarios)}/{len(SCENARIOS)})")
+        print(f"events observed: {result.events} "
+              f"({result.report.observed} distinct kinds)")
+        for pair in sorted(result.report.allowed_missing):
+            print(f"  allowed-missing: {pair[0]}/{pair[1]}")
+        for pair in sorted(result.report.missing):
+            print(f"  MISSING: {pair[0]}/{pair[1]} declared but never observed")
+        for pair in sorted(result.report.undeclared):
+            print(f"  UNDECLARED: {pair[0]}/{pair[1]} observed but not in the registry")
+        for problem in result.problems:
+            print(f"  INVALID: {problem}")
+        if not result.ok:
+            print("\nFAIL: the smoke trace does not round-trip the event registry")
+            return 1
+        print("\nevery declared event observed; every observed event declared")
+        return 0
+
+    rows = [
+        {"event": f"{entry.category}/{entry.name}", "ph": entry.ph,
+         "keys": " ".join(sorted(entry.required)) or "-",
+         "exported": "yes" if entry.export_only else "",
+         "description": entry.description}
+        for _, entry in sorted(schema.REGISTRY.items())
+    ]
+    print(format_table(rows, title=f"{len(rows)} declared TraceBus events"))
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.results_io import load_results_json
 
@@ -599,12 +642,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="determinism linter: scan python sources for DL101-DL105",
-        description="AST-based determinism linter for simulator code. "
-                    "Rules: DL101 wall-clock calls, DL102 unseeded RNG, DL103 "
-                    "set/dict-order-dependent iteration, DL104 float timestamp "
-                    "equality, DL105 mutable default arguments. Suppress a "
-                    "finding with a '# dl: disable=CODE' pragma.",
+        help="static analysis: determinism (DL1xx), event-schema and "
+             "address-domain dataflow (DL2xx) rules",
+        description="AST-based static analysis for simulator code. "
+                    "Determinism rules: DL101 wall-clock calls, DL102 unseeded "
+                    "RNG, DL103 set/dict-order-dependent iteration, DL104 "
+                    "float timestamp equality, DL105 mutable default "
+                    "arguments. Event-schema rules: DL201 emit sites vs the "
+                    "TraceBus registry, DL202 consumers vs the registry, "
+                    "DL203 declared-but-never-consumed events (note). "
+                    "Dataflow: DL210 address-domain/time-unit mixing. "
+                    "Suppress a finding with a '# dl: disable=CODE' pragma.",
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to scan (default: src)")
@@ -614,6 +662,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", metavar="CODES",
                       help="comma-separated rule codes to skip")
     lint.set_defaults(func=cmd_lint)
+
+    schema_p = sub.add_parser(
+        "schema",
+        help="TraceBus event registry: list events or verify smoke coverage",
+        description="Without flags, prints the declared event registry. "
+                    "With --verify-coverage, runs tiny seeded scenarios and "
+                    "checks that every declared event is observed (modulo the "
+                    "allow-list) and every observed event is declared, with "
+                    "valid payloads.",
+    )
+    schema_p.add_argument("--verify-coverage", action="store_true",
+                          help="run the coverage smoke instead of listing")
+    schema_p.add_argument("--scenarios", metavar="NAMES",
+                          help="comma-separated scenario subset for --verify-coverage")
+    schema_p.set_defaults(func=cmd_schema)
     return parser
 
 

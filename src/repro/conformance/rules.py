@@ -31,6 +31,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.conformance.sketches import KmvDistinctCounter
 from repro.metrics.streaming import DeterministicReservoir, RunningMoments
+from repro.obs.schema import (
+    CAT_CMT,
+    CAT_FLASH,
+    CAT_GC,
+    CAT_HOST,
+    EV_CMT_HIT,
+    EV_CMT_MISS,
+    EV_FLASH_COPY_BACK,
+    EV_FLASH_ERASE,
+    EV_FLASH_PROGRAM,
+    EV_FLASH_READ,
+    EV_IO_BEGIN,
+    EV_IO_DISPATCH,
+    EV_VICTIM_SELECTED,
+)
 from repro.obs.tracebus import BUS, TraceBus, TraceEvent
 
 #: Canonical rule ordering for reports.
@@ -127,7 +142,7 @@ class RequestScaleParallelismProbe(ContractProbe):
     description = ("fraction of multi-page requests whose flash ops "
                    "overlap in time across planes")
 
-    _FLASH_OPS = ("read", "program", "copy_back", "erase")
+    _FLASH_OPS = (EV_FLASH_READ, EV_FLASH_PROGRAM, EV_FLASH_COPY_BACK, EV_FLASH_ERASE)
 
     def __init__(self, min_pages: int = 2, max_tracked_ops: int = 4096):
         super().__init__()
@@ -145,8 +160,8 @@ class RequestScaleParallelismProbe(ContractProbe):
 
     def __call__(self, event: TraceEvent) -> None:
         category = event.category
-        if category == "host":
-            if event.name == "io_begin":
+        if category == CAT_HOST:
+            if event.name == EV_IO_BEGIN:
                 # A nested begin cannot happen (dispatch is synchronous);
                 # reset defensively anyway.
                 self._active = (event.args or {}).get("pages", 1) >= self.min_pages
@@ -154,10 +169,10 @@ class RequestScaleParallelismProbe(ContractProbe):
                     self.multi_requests += 1
                     self._ops.clear()
                     self._channels.clear()
-            elif event.name == "io_dispatch" and self._active:
+            elif event.name == EV_IO_DISPATCH and self._active:
                 self._finish()
                 self._active = False
-        elif self._active and category == "flash" and event.name in self._FLASH_OPS:
+        elif self._active and category == CAT_FLASH and event.name in self._FLASH_OPS:
             args = event.args or {}
             plane = args.get("plane")
             if plane is None:
@@ -253,15 +268,15 @@ class LocalityProbe(ContractProbe):
 
     def __call__(self, event: TraceEvent) -> None:
         category = event.category
-        if category == "cmt":
-            if event.name == "hit":
+        if category == CAT_CMT:
+            if event.name == EV_CMT_HIT:
                 self.cmt_hits += 1
-            elif event.name == "miss":
+            elif event.name == EV_CMT_MISS:
                 self.cmt_misses += 1
                 lpn = (event.args or {}).get("lpn")
                 if lpn is not None:
                     self._missed_lpns.add(lpn)
-        elif category == "host" and event.name == "io_begin":
+        elif category == CAT_HOST and event.name == EV_IO_BEGIN:
             lpn = (event.args or {}).get("lpn")
             if lpn is None:
                 return
@@ -343,7 +358,7 @@ class AlignedSequentialityProbe(ContractProbe):
         self._run_length = 0
 
     def __call__(self, event: TraceEvent) -> None:
-        if event.category != "host" or event.name != "io_begin":
+        if event.category != CAT_HOST or event.name != EV_IO_BEGIN:
             return
         args = event.args or {}
         if args.get("op") != "write":
@@ -426,7 +441,7 @@ class DeathTimeGroupingProbe(ContractProbe):
         self._worst: Tuple[float, int, int] = (-1.0, -1, -1)  # (frac, plane, victim)
 
     def __call__(self, event: TraceEvent) -> None:
-        if event.category != "gc" or event.name != "victim_selected":
+        if event.category != CAT_GC or event.name != EV_VICTIM_SELECTED:
             return
         args = event.args or {}
         valid = args.get("valid", 0)

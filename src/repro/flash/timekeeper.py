@@ -166,3 +166,8 @@ class FlashTimekeeper:
         self.die_bus_free[:] = [0.0] * len(self.die_bus_free)
         # In-place reset keeps references (samplers, exporters) valid.
         self.counters.reset()
+        if BUS.enabled:
+            # Occupancy checkers must drop busy intervals from before
+            # the reset or every post-preconditioning op looks like an
+            # overlap with preconditioning history.
+            BUS.emit("flash", "timeline_reset", 0.0, 0.0, {}, None, "i")

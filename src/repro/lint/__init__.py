@@ -6,15 +6,21 @@ Two complementary correctness nets for the simulator (see
 * :mod:`repro.lint.rules` / :mod:`repro.lint.runner` — the AST-based
   determinism linter behind ``repro-sim lint`` (codes ``DL101``—
   ``DL105``, ``# dl: disable=CODE`` pragmas, text/JSON output);
+* :mod:`repro.lint.schema_rules` — the ``DL201``/``DL202``/``DL203``
+  TraceBus event-schema cross-check against
+  :mod:`repro.obs.schema`;
+* :mod:`repro.lint.dataflow` — ``DL210``, the address-domain /
+  time-unit abstract interpretation (``# dl: domain(...)``
+  annotations);
 * :mod:`repro.lint.sanitizer` — :class:`SimSanitizer`, an opt-in
   TraceBus subscriber validating FTL invariants (on-plane copy-back,
   mapping coherence, free-block accounting, NAND state legality, event
-  ordering) as a simulation runs: ``SimulatedSSD(sanitize=True)`` or
-  ``repro-sim simulate --sanitize``.
+  ordering, plane/channel occupancy) as a simulation runs:
+  ``SimulatedSSD(sanitize=True)`` or ``repro-sim simulate --sanitize``.
 """
 
-from repro.lint.rules import ALL_CODES, ALL_RULES, FileContext, Finding, Rule
-from repro.lint.runner import LintResult, lint_file, run_lint
+from repro.lint.rules import FileContext, Finding, Rule
+from repro.lint.runner import ALL_CODES, ALL_RULES, LintResult, lint_file, run_lint
 from repro.lint.sanitizer import SanitizerError, SimSanitizer
 
 __all__ = [

@@ -36,9 +36,13 @@ class Finding:
     col: int
     code: str
     message: str
+    #: ``"error"`` findings fail the run; ``"note"`` findings are
+    #: informational (reported separately, exit code unaffected).
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        label = f"{self.code} note:" if self.severity == "note" else self.code
+        return f"{self.path}:{self.line}:{self.col}: {label} {self.message}"
 
     def as_dict(self) -> dict:
         return {
@@ -47,13 +51,16 @@ class Finding:
             "col": self.col,
             "code": self.code,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
 class FileContext:
     """Everything a rule needs to know about one source file."""
 
-    def __init__(self, path: str, tree: ast.Module, source: str, module: Optional[str]):
+    def __init__(
+        self, path: str, tree: ast.Module, source: str, module: Optional[str]
+    ) -> None:
         self.path = path
         self.tree = tree
         self.source = source
@@ -105,12 +112,18 @@ class Rule:
 
     #: Stable rule code (``DL1xx``); used in output and pragmas.
     code: str = ""
+    #: Every code this rule can emit.  Single-code rules leave this
+    #: empty; multi-code rules (the DL20x schema cross-check) list all.
+    codes: Tuple[str, ...] = ()
     #: One-line summary for the catalogue / ``--list-rules``.
     summary: str = ""
     #: When set, the rule only applies to files whose module starts
     #: with one of these prefixes.  Files outside the ``repro`` package
     #: (fixtures, scripts) always get every rule.
     packages: Optional[Tuple[str, ...]] = None
+
+    def all_codes(self) -> Tuple[str, ...]:
+        return self.codes or (self.code,)
 
     def applies_to(self, ctx: FileContext) -> bool:
         if self.packages is None or ctx.module is None:
@@ -122,13 +135,31 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    def finish(self) -> Iterator[Finding]:
+        """Project-level findings after every file was checked.
+
+        Cross-file rules accumulate state in :meth:`check` and report
+        here; rule instances are constructed fresh for each run, so
+        the state never leaks between runs.
+        """
+        return iter(())
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        severity: str = "error",
+    ) -> Finding:
         return Finding(
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
-            code=self.code,
+            code=code or self.code,
             message=message,
+            severity=severity,
         )
 
 
@@ -502,13 +533,14 @@ class MutableDefaultRule(Rule):
                     )
 
 
-#: The full rule catalogue, in code order.
-ALL_RULES: Sequence[Rule] = (
+#: The determinism (DL1xx) half of the catalogue.  The full catalogue —
+#: including the DL2xx schema and dataflow rules, which live in their
+#: own modules — is assembled as ``ALL_RULES`` in
+#: :mod:`repro.lint.runner`.
+DETERMINISM_RULES: Sequence[Rule] = (
     WallClockRule(),
     UnseededRandomRule(),
     SetIterationRule(),
     FloatTimeEqualityRule(),
     MutableDefaultRule(),
 )
-
-ALL_CODES = tuple(rule.code for rule in ALL_RULES)

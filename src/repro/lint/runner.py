@@ -5,9 +5,15 @@ This is the engine behind ``repro-sim lint [paths]``:
 * walks ``.py`` files under the given paths (skipping ``__pycache__``
   and hidden directories),
 * parses each once and runs every registered rule over the AST,
+* runs each rule's project-level :meth:`~repro.lint.rules.Rule.finish`
+  pass (the DL20x schema cross-checks aggregate across files),
 * drops findings suppressed by ``# dl: disable`` pragmas,
 * renders the survivors as text (``path:line:col: CODE message``) or a
   single JSON object (``--format json``).
+
+Findings come in two severities: ``error`` findings drive the exit
+code; ``note`` findings (DL203 "declared but never consumed") are
+reported separately and never fail a run.
 
 Pragma syntax (comment anywhere on the offending line)::
 
@@ -29,12 +35,31 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.rules import ALL_CODES, ALL_RULES, FileContext, Finding, Rule
+from repro.lint.dataflow import DomainFlowRule
+from repro.lint.rules import DETERMINISM_RULES, FileContext, Finding, Rule
+from repro.lint.schema_rules import ConsumerSchemaRule, EmitSchemaRule
+
+#: The full rule catalogue, in code order.  Instances here are
+#: prototypes: each run constructs fresh instances so cross-file rule
+#: state never leaks between runs.
+ALL_RULES: Sequence[Rule] = (
+    *DETERMINISM_RULES,
+    EmitSchemaRule(),
+    ConsumerSchemaRule(),
+    DomainFlowRule(),
+)
+
+ALL_CODES: Tuple[str, ...] = tuple(
+    code for rule in ALL_RULES for code in rule.all_codes()
+)
 
 _PRAGMA_RE = re.compile(r"#\s*dl:\s*disable(?P<scope>-file)?(?:=(?P<codes>[A-Z0-9,\s]+))?")
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+#: ``(line_pragmas, file_codes, file_all)`` as parsed from one file.
+_Pragmas = Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]], bool]
 
 
 @dataclass
@@ -42,6 +67,8 @@ class LintResult:
     """Outcome of one lint run."""
 
     findings: List[Finding] = field(default_factory=list)
+    #: Informational findings (severity ``note``); exit code unaffected.
+    notes: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressed: int = 0
     errors: List[str] = field(default_factory=list)
@@ -52,10 +79,12 @@ class LintResult:
 
     def render_text(self) -> str:
         lines = [f.render() for f in self.findings]
+        lines.extend(f.render() for f in self.notes)
         lines.extend(f"error: {e}" for e in self.errors)
         noun = "finding" if len(self.findings) == 1 else "findings"
+        note_part = f", {len(self.notes)} notes" if self.notes else ""
         lines.append(
-            f"repro-sim lint: {len(self.findings)} {noun} "
+            f"repro-sim lint: {len(self.findings)} {noun}{note_part} "
             f"({self.suppressed} suppressed) in {self.files_scanned} files"
         )
         return "\n".join(lines)
@@ -63,11 +92,12 @@ class LintResult:
     def render_json(self) -> str:
         return json.dumps(
             {
-                "version": 1,
+                "version": 2,
                 "files_scanned": self.files_scanned,
                 "suppressed": self.suppressed,
                 "errors": self.errors,
                 "findings": [f.as_dict() for f in self.findings],
+                "notes": [f.as_dict() for f in self.notes],
             },
             indent=2,
         )
@@ -103,7 +133,7 @@ def _module_name(path: Path) -> Optional[str]:
     return ".".join(module_parts)
 
 
-def _parse_pragmas(source: str) -> Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]], bool]:
+def _parse_pragmas(source: str) -> _Pragmas:
     """Extract suppression pragmas from source comments.
 
     Returns ``(line_pragmas, file_codes, file_all)`` where
@@ -152,10 +182,22 @@ def _suppressed(
     return False
 
 
+def _record(finding: Finding, result: LintResult, pragmas: Optional[_Pragmas]) -> None:
+    if pragmas is not None and _suppressed(finding, *pragmas):
+        result.suppressed += 1
+    elif finding.severity == "note":
+        result.notes.append(finding)
+    else:
+        result.findings.append(finding)
+
+
 def lint_file(
     path: Path,
     rules: Sequence[Rule],
     result: LintResult,
+    *,
+    active: Optional[Set[str]] = None,
+    pragma_cache: Optional[Dict[str, _Pragmas]] = None,
 ) -> None:
     """Lint one file, appending findings/suppressions to ``result``."""
     try:
@@ -166,15 +208,16 @@ def lint_file(
         return
     result.files_scanned += 1
     ctx = FileContext(str(path), tree, source, _module_name(path))
-    line_pragmas, file_codes, file_all = _parse_pragmas(source)
+    pragmas = _parse_pragmas(source)
+    if pragma_cache is not None:
+        pragma_cache[str(path)] = pragmas
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            if _suppressed(finding, line_pragmas, file_codes, file_all):
-                result.suppressed += 1
-            else:
-                result.findings.append(finding)
+            if active is not None and finding.code not in active:
+                continue
+            _record(finding, result, pragmas)
 
 
 def run_lint(
@@ -194,9 +237,18 @@ def run_lint(
     unknown = (chosen | dropped) - set(ALL_CODES)
     if unknown:
         raise ValueError(f"unknown rule codes: {sorted(unknown)}; known: {list(ALL_CODES)}")
-    rules = [r for r in ALL_RULES if r.code in chosen - dropped]
+    active = chosen - dropped
+    # Fresh instances per run: cross-file rules carry aggregation state.
+    rules = [type(r)() for r in ALL_RULES if set(r.all_codes()) & active]
     result = LintResult()
+    pragma_cache: Dict[str, _Pragmas] = {}
     for path in _discover(paths):
-        lint_file(path, rules, result)
+        lint_file(path, rules, result, active=active, pragma_cache=pragma_cache)
+    for rule in rules:
+        for finding in rule.finish():
+            if finding.code not in active:
+                continue
+            _record(finding, result, pragma_cache.get(finding.path))
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.notes.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return result

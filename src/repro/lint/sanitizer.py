@@ -21,7 +21,13 @@ subscribes to the PR-1 :data:`~repro.obs.tracebus.BUS` and checks:
 * **free-accounting** — per-plane free-pool sizes match the array's
   free-block mask, and no active write block sits in a pool;
 * **event-order** — engine dispatch timestamps never run backwards and
-  same-timestamp events fire in strictly increasing scheduling order.
+  same-timestamp events fire in strictly increasing scheduling order;
+* **plane-occupancy / channel-occupancy** — busy intervals rebuilt from
+  the timekeeper's ``flash`` spans never overlap on one plane or one
+  channel (the Section III timing-legality invariant: two operations
+  cannot occupy the same resource simultaneously).  Back-to-back spans
+  sharing an endpoint are legal; a ``flash/timeline_reset`` (emitted
+  after preconditioning) drops accumulated history.
 
 Violations raise :class:`SanitizerError` immediately (fail fast) with
 the rule name and a diagnostic snapshot of the relevant state.  The
@@ -39,12 +45,35 @@ or from the CLI: ``repro-sim simulate --sanitize ...``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.flash.address import PageState, decode_translation_owner
+from repro.obs import schema
 from repro.obs.tracebus import BUS, TraceBus, TraceEvent
+
+#: ``flash`` events whose span occupies a plane for its full duration.
+_PLANE_SPAN_EVENTS = frozenset(
+    {
+        schema.EV_FLASH_READ,
+        schema.EV_FLASH_PROGRAM,
+        schema.EV_FLASH_ERASE,
+        schema.EV_FLASH_COPY_BACK,
+        schema.EV_MP_READ,
+        schema.EV_MP_PROGRAM,
+        schema.EV_MP_ERASE,
+    }
+)
+#: ``flash`` events whose span occupies a channel (the transfer path).
+_CHANNEL_SPAN_EVENTS = frozenset(
+    {
+        schema.EV_XFER_IN,
+        schema.EV_XFER_OUT,
+        schema.EV_MP_XFER_IN,
+        schema.EV_MP_XFER_OUT,
+    }
+)
 
 #: Shadow page states (mirrors :class:`repro.flash.address.PageState`).
 _FREE, _VALID, _INVALID = (
@@ -57,7 +86,9 @@ _FREE, _VALID, _INVALID = (
 class SanitizerError(AssertionError):
     """An FTL invariant was violated; ``rule`` names which one."""
 
-    def __init__(self, rule: str, message: str, snapshot: Optional[dict] = None):
+    def __init__(
+        self, rule: str, message: str, snapshot: Optional[dict] = None
+    ) -> None:
         self.rule = rule
         self.snapshot = snapshot or {}
         detail = f" | snapshot: {self.snapshot}" if self.snapshot else ""
@@ -72,7 +103,7 @@ class SimSanitizer:
     and :meth:`finalize` after the run for the closing sweep + report.
     """
 
-    def __init__(self, ftl, *, bus: Optional[TraceBus] = None):
+    def __init__(self, ftl, *, bus: Optional[TraceBus] = None) -> None:
         self.ftl = ftl
         self.bus = bus if bus is not None else BUS
         geometry = ftl.geometry
@@ -92,9 +123,16 @@ class SimSanitizer:
         # Event-order tracking.
         self._last_engine_ts = -np.inf
         self._last_engine_seq = -1
+        # Occupancy tracking: latest busy interval per plane / channel.
+        # Spans per resource arrive start-ordered (the timekeeper
+        # serializes through ``plane_free``/``channel_free``), so one
+        # remembered interval per resource suffices for overlap checks.
+        self._plane_busy: Dict[int, Tuple[float, float, str]] = {}
+        self._channel_busy: Dict[int, Tuple[float, float, str]] = {}
         # Statistics for the report.
         self.events_checked = 0
         self.migrations_checked = 0
+        self.spans_checked = 0
         self.sweeps = 0
         self.violations = 0
         self._attached = False
@@ -122,6 +160,7 @@ class SimSanitizer:
         return {
             "events_checked": self.events_checked,
             "migrations_checked": self.migrations_checked,
+            "spans_checked": self.spans_checked,
             "sweeps": self.sweeps,
             "violations": self.violations,
         }
@@ -133,6 +172,8 @@ class SimSanitizer:
         category = event.category
         if category == "array":
             self._on_array(event)
+        elif category == "flash":
+            self._on_flash(event)
         elif category == "gc":
             if event.name == "migrate":
                 self._on_migrate(event)
@@ -176,6 +217,52 @@ class SimSanitizer:
                 "offsets must share parity (Fig. 5)",
                 {"event": args, "ts_us": event.ts_us},
             )
+
+    def _on_flash(self, event: TraceEvent) -> None:
+        """Plane/channel occupancy: busy intervals must never overlap."""
+        name = event.name
+        if name in _PLANE_SPAN_EVENTS:
+            plane = (event.args or {}).get("plane")
+            if plane is not None:
+                self._note_span(self._plane_busy, "plane", int(plane), event)
+        elif name in _CHANNEL_SPAN_EVENTS:
+            channel = (event.args or {}).get("channel")
+            if channel is not None:
+                self._note_span(self._channel_busy, "channel", int(channel), event)
+        elif name == schema.EV_TIMELINE_RESET:
+            # Timelines were zeroed (post-preconditioning); pre-reset
+            # busy history must not count against future spans.
+            self._plane_busy.clear()
+            self._channel_busy.clear()
+
+    def _note_span(
+        self,
+        table: Dict[int, Tuple[float, float, str]],
+        resource: str,
+        index: int,
+        event: TraceEvent,
+    ) -> None:
+        start = event.ts_us
+        end = start + event.duration_us
+        self.spans_checked += 1
+        prev = table.get(index)
+        # Strict <: spans sharing an endpoint are legal back-to-back
+        # scheduling (the timekeeper starts ops at exactly the moment
+        # the resource frees), so no epsilon is needed.
+        if prev is not None and start < prev[1]:
+            self._fail(
+                f"{resource}-occupancy",
+                f"{event.name} on {resource} {index} starts at {start} us, "
+                f"inside the busy interval [{prev[0]}, {prev[1]}) us of "
+                f"{prev[2]}; two operations cannot occupy one {resource} "
+                "simultaneously",
+                {
+                    resource: index,
+                    "busy": [prev[0], prev[1], prev[2]],
+                    "span": [start, end, event.name],
+                },
+            )
+        table[index] = (start, end, event.name)
 
     def _on_engine(self, event: TraceEvent) -> None:
         """Engine dispatch order must be (time, seq)-monotonic."""

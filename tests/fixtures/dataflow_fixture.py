@@ -1,0 +1,56 @@
+"""Address-domain lint fixture: deliberate DL210 violations.
+
+This file is never imported; ``tests/test_dataflow.py`` lints it and
+asserts the exact set of findings.  Line numbers matter — keep the
+violations where they are or update the expectations.
+"""
+
+
+def mixed_arithmetic(lpn, ppn):
+    return lpn + ppn  # DL210: lpn + ppn
+
+
+def mixed_comparison(lpn, ppn):
+    return lpn < ppn  # DL210: lpn vs ppn
+
+
+def mixed_assignment(victim_lpn):
+    plane = victim_lpn  # DL210: lpn value into a plane name
+    return plane
+
+
+def mixed_time_units(start_us, budget_ms):
+    return start_us + budget_ms  # DL210: us + ms
+
+
+def swapped_keyword(lpn):
+    return _service(channel=lpn)  # DL210: lpn into channel=
+
+
+def swapped_positional(channel):
+    return _service2(channel)  # DL210: channel into the plane slot
+
+
+def annotated_flow(raw_address):
+    addr = raw_address  # dl: domain(addr=ppn)
+    lpn = addr  # DL210: annotation makes addr a ppn
+    return lpn
+
+
+def unknown_annotation(value):
+    return value  # dl: domain(value=bananas)  (DL210: unknown domain)
+
+
+def _service(channel):
+    return channel
+
+
+def _service2(plane):
+    return plane
+
+
+def clean_derivations(pbn, page_offset, pages_per_block, total_us):
+    ppn = pbn * pages_per_block + page_offset  # derivation: clean
+    total_ms = total_us / 1000.0  # unit conversion: clean
+    next_ppn = ppn + 1  # untyped offset: clean
+    return ppn, total_ms, next_ppn

@@ -1,0 +1,133 @@
+"""DL210 address-domain / time-unit dataflow rule."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.dataflow import ADDRESS_DOMAINS, incompatible, infer_domain
+
+FIXTURE = Path(__file__).parent / "fixtures" / "dataflow_fixture.py"
+
+#: (line, col, code) for every violation planted in the fixture.
+EXPECTED_FIXTURE_FINDINGS = [
+    (10, 12, "DL210"),  # lpn + ppn arithmetic
+    (14, 12, "DL210"),  # lpn < ppn comparison
+    (18, 5, "DL210"),   # lpn value assigned to a plane name
+    (23, 12, "DL210"),  # us + ms arithmetic
+    (27, 12, "DL210"),  # lpn passed as channel= keyword
+    (31, 12, "DL210"),  # channel passed into a plane parameter
+    (36, 5, "DL210"),   # annotated ppn assigned to an lpn name
+    (41, 1, "DL210"),   # unknown domain in a # dl: domain(...) annotation
+]
+
+
+def lint_module(tmp_path, source):
+    # DL210 only applies inside simulator packages; place the snippet
+    # under a repro/ directory so the module resolves into one.
+    path = tmp_path / "repro" / "flash" / "snippet.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], select=["DL210"])
+
+
+class TestInference:
+    def test_suffix_and_exact_names(self):
+        assert infer_domain("lpn") == "lpn"
+        assert infer_domain("victim_ppn") == "ppn"
+        assert infer_domain("start_us") == "us"
+        assert infer_domain("budget_ms") == "ms"
+        assert infer_domain("dst_plane") == "plane"
+
+    def test_ratio_names_are_untyped(self):
+        # pages_per_block is a ratio, not a page count in either domain.
+        assert infer_domain("pages_per_block") is None
+        assert infer_domain("planeswalker") is None
+        assert infer_domain("total") is None
+
+    def test_incompatibility(self):
+        assert incompatible("lpn", "ppn")
+        assert incompatible("us", "ms")
+        assert not incompatible("lpn", "lpn")
+        assert not incompatible("lpn", None)
+        assert not incompatible("lpn", "any")
+        # page_offset may be added to any address, but not compared.
+        assert not incompatible("ppn", "page_offset", arithmetic=True)
+        assert incompatible("ppn", "page_offset")
+
+    def test_address_domains_are_known(self):
+        assert "lpn" in ADDRESS_DOMAINS and "ppn" in ADDRESS_DOMAINS
+
+
+class TestFixture:
+    def test_fixture_findings_exactly(self):
+        result = run_lint([str(FIXTURE)])
+        got = [(f.line, f.col, f.code) for f in result.findings]
+        assert got == EXPECTED_FIXTURE_FINDINGS
+        assert result.exit_code == 1
+
+
+class TestCleanPatterns:
+    def test_derivations_and_conversions(self, tmp_path):
+        result = lint_module(tmp_path, """\
+            def derive(pbn, pages_per_block, page_offset, total_us):
+                ppn = pbn * pages_per_block + page_offset
+                total_ms = total_us / 1000.0
+                next_ppn = ppn + 1
+                return ppn, total_ms, next_ppn
+        """)
+        assert result.findings == []
+
+    def test_same_domain_flows(self, tmp_path):
+        result = lint_module(tmp_path, """\
+            def same(lpn, other_lpn, start_us, end_us):
+                if lpn < other_lpn:
+                    lpn = other_lpn
+                return end_us - start_us
+        """)
+        assert result.findings == []
+
+    def test_any_annotation_silences(self, tmp_path):
+        result = lint_module(tmp_path, """\
+            def generic(lpn, ppn):
+                owner = lpn  # dl: domain(owner=any)
+                owner = ppn
+                return owner
+        """)
+        assert result.findings == []
+
+    def test_non_simulator_packages_are_ignored(self, tmp_path):
+        # Analysis/plotting code (repro.experiments, repro.obs, ...)
+        # shuffles addresses freely; DL210 stays out of it.
+        path = tmp_path / "repro" / "experiments" / "snippet.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("def f(lpn, ppn):\n    return lpn + ppn\n")
+        result = run_lint([str(path)], select=["DL210"])
+        assert result.findings == []
+
+
+class TestAnnotations:
+    def test_annotation_overrides_inference(self, tmp_path):
+        result = lint_module(tmp_path, """\
+            def convert(raw):
+                value = raw  # dl: domain(value=ppn)
+                plane = value
+                return plane
+        """)
+        assert len(result.findings) == 1
+        assert "ppn" in result.findings[0].message
+
+    def test_pragma_suppression(self, tmp_path):
+        result = lint_module(tmp_path, """\
+            def mix(lpn, ppn):
+                return lpn + ppn  # dl: disable=DL210
+        """)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_dict_payload_mismatch(self, tmp_path):
+        # The TraceBus payload pattern: {"lpn": ppn} is a swapped key.
+        result = lint_module(tmp_path, """\
+            def payload(ppn):
+                return {"lpn": ppn}
+        """)
+        assert len(result.findings) == 1

@@ -68,6 +68,7 @@ class TestCleanRun:
         assert report["migrations_checked"] == ssd.ftl.gc_stats.copyback_moves
         assert report["sweeps"] > ssd.ftl.gc_stats.passes  # per-pass + final
         assert report["events_checked"] > 0
+        assert report["spans_checked"] > 0  # occupancy checker exercised
         assert BUS.subscriber_count == 0  # finalize detached
 
     def test_sanitized_run_is_bit_identical(self, small_geometry):
@@ -232,6 +233,62 @@ class TestInjectedViolations:
         err = expect_rule("mapping-coherence", sanitizer.check_now)
         assert err.snapshot["lpn"] == lpn
         assert "free_blocks" in err.snapshot
+
+
+# ---------------------------------------------------------------------------
+# plane/channel occupancy races
+
+
+def flash_span(name, ts, dur, plane=0, channel=0):
+    BUS.emit("flash", name, ts, dur, {"plane": plane, "channel": channel}, None, "X")
+
+
+class TestOccupancyRaces:
+    def test_overlapping_plane_spans_raise(self, watched):
+        ssd, sanitizer = watched
+        flash_span("program", 100.0, 50.0)
+        err = expect_rule("plane-occupancy", lambda: flash_span("read", 120.0, 10.0))
+        assert err.snapshot["plane"] == 0
+        assert err.snapshot["busy"][:2] == [100.0, 150.0]
+        assert err.snapshot["span"] == [120.0, 130.0, "read"]
+
+    def test_back_to_back_spans_are_legal(self, watched):
+        ssd, sanitizer = watched
+        flash_span("program", 100.0, 50.0)
+        flash_span("read", 150.0, 10.0)  # starts exactly at the previous end
+
+    def test_distinct_planes_may_overlap(self, watched):
+        ssd, sanitizer = watched
+        flash_span("program", 100.0, 50.0, plane=0)
+        flash_span("program", 100.0, 50.0, plane=1)  # plane parallelism is the point
+
+    def test_overlapping_channel_transfers_raise(self, watched):
+        ssd, sanitizer = watched
+        flash_span("xfer_in", 100.0, 20.0, plane=0, channel=1)
+        expect_rule(
+            "channel-occupancy",
+            lambda: flash_span("xfer_out", 110.0, 5.0, plane=1, channel=1),
+        )
+
+    def test_copy_back_occupies_plane_but_no_channel(self, watched):
+        ssd, sanitizer = watched
+        BUS.emit("flash", "copy_back", 100.0, 200.0, {"plane": 0}, None, "X")
+        flash_span("xfer_in", 150.0, 20.0, plane=1, channel=0)  # channel stays free
+        expect_rule("plane-occupancy", lambda: flash_span("read", 150.0, 10.0, plane=0))
+
+    def test_timeline_reset_clears_history(self, watched):
+        ssd, sanitizer = watched
+        flash_span("program", 5_000.0, 50.0)
+        BUS.emit("flash", "timeline_reset", 0.0, 0.0, {}, None, "i")
+        flash_span("read", 100.0, 10.0)  # pre-reset history must not bind
+
+    def test_spans_are_counted_in_report(self, watched):
+        ssd, sanitizer = watched
+        before = sanitizer.spans_checked
+        flash_span("program", 100.0, 50.0)
+        flash_span("read", 150.0, 10.0)
+        assert sanitizer.spans_checked == before + 2
+        assert sanitizer.report()["spans_checked"] == sanitizer.spans_checked
 
 
 # ---------------------------------------------------------------------------
