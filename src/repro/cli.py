@@ -336,6 +336,10 @@ def cmd_trace_stats(args) -> int:
 def cmd_bench(args) -> int:
     from repro.perf import compare_reports, load_report, run_suite, save_report
 
+    if args.no_batch_kernels:
+        from repro.perf import workloads
+
+        workloads.BATCH_KERNELS = False
     only = args.only.split(",") if args.only else None
     report = run_suite(
         quick=args.quick,
@@ -372,6 +376,38 @@ def cmd_bench(args) -> int:
                   "an optimisation changed simulation behaviour.")
             return 1
         print("\nall fingerprints match the baseline (timings are informational)")
+    if args.compare:
+        baseline = load_report(args.compare)
+        result = compare_reports(report, baseline)
+        cmp_rows = []
+        for base_rec in baseline.records:
+            cur_rec = report.record(base_rec.name)
+            if cur_rec is None:
+                continue
+            speedup = (cur_rec.throughput_per_s / base_rec.throughput_per_s
+                       if base_rec.throughput_per_s else float("inf"))
+            cmp_rows.append({
+                "benchmark": base_rec.name + (" *" if base_rec.headline else ""),
+                "baseline": f"{base_rec.throughput_per_s:,.0f} {base_rec.unit}/s",
+                "current": f"{cur_rec.throughput_per_s:,.0f} {cur_rec.unit}/s",
+                "speedup": f"{speedup:.2f}x",
+                "fingerprint": "DRIFT" if base_rec.name in result.mismatches else "ok",
+            })
+        print()
+        print(format_table(
+            cmp_rows,
+            title=f"speedup vs {args.compare} (label {baseline.label!r}, * = headline)",
+        ))
+        for name in result.missing:
+            print(f"  {name}: MISSING from this run")
+        if not result.ok:
+            problems = [f"{n} drifted" for n in result.mismatches]
+            problems += [f"{n} missing" for n in result.missing]
+            print(f"\nFAIL: comparison vs {args.compare}: {', '.join(problems)} — "
+                  "fingerprint drift means an optimisation changed simulation "
+                  "behaviour; missing records mean the baseline was not re-run.")
+            return 1
+        print("\nall fingerprints match the baseline; speedups are honest")
     return 0
 
 
@@ -596,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated subset of benchmarks to run")
     bench.add_argument("--repeat", type=int, default=1,
                        help="repetitions per benchmark (best wall time wins)")
+    bench.add_argument("--no-batch-kernels", action="store_true",
+                       help="run the DLOOP benchmarks on the scalar path "
+                            "(batch_kernels=False); fingerprints must not change")
+    bench.add_argument("--compare", metavar="BASELINE.json",
+                       help="print per-record speedup vs a baseline report and "
+                            "exit non-zero on determinism-fingerprint drift")
     bench.add_argument("--check", metavar="BASELINE.json",
                        help="gate determinism fingerprints against a saved report")
     bench.set_defaults(func=cmd_bench)

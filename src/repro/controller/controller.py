@@ -152,8 +152,11 @@ class Controller:
             return
         request.streamed = True
         self._stream_window += 1
-        self.engine.schedule_at(
-            max(self.engine.now, request.arrival_us), self._arrive_streamed, request
+        engine = self.engine
+        now = engine._now
+        arrival = request.arrival_us
+        engine.post(
+            arrival if arrival > now else now, self._arrive_streamed, request
         )
 
     def _arrive_streamed(self, request: IoRequest) -> None:
@@ -166,10 +169,12 @@ class Controller:
     def _arrive(self, request: IoRequest) -> None:
         # Outstanding counts *arrived* in-flight requests — the device
         # is idle (for background work) when this returns to zero.
-        self.outstanding += 1
-        if self.outstanding > self.peak_outstanding:
-            self.peak_outstanding = self.outstanding
-        now = self.engine.now
+        outstanding = self.outstanding + 1
+        self.outstanding = outstanding
+        if outstanding > self.peak_outstanding:
+            self.peak_outstanding = outstanding
+        engine = self.engine
+        now = engine._now
         if BUS.enabled:
             BUS.counter("queue_depth", now, {"outstanding": self.outstanding})
             # Bracket the synchronous dispatch below: every flash event
@@ -187,16 +192,24 @@ class Controller:
             retries_before = faults.stats.read_retries + faults.stats.program_failures
             lost_before = self.ftl.stats.lost_pages
         completion = now
+        stats = self.stats
+        start_lpn = request.start_lpn
+        page_count = request.page_count
+        lpns = range(start_lpn, start_lpn + page_count)
         try:
-            if request.op is IoOp.WRITE:
-                completion = max(completion, self.backend.write_pages(request.lpns, now))
-                self.stats.pages_written += request.page_count
-            elif request.op is IoOp.TRIM:
-                completion = max(completion, self.ftl.trim_pages(request.lpns, now))
-                self.stats.pages_trimmed += request.page_count
+            op = request.op
+            if op is IoOp.WRITE:
+                end = self.backend.write_pages(lpns, now)
+                completion = end if end > completion else completion
+                stats.pages_written += page_count
+            elif op is IoOp.TRIM:
+                end = self.ftl.trim_pages(lpns, now)
+                completion = end if end > completion else completion
+                stats.pages_trimmed += page_count
             else:
-                completion = max(completion, self.backend.read_pages(request.lpns, now))
-                self.stats.pages_read += request.page_count
+                end = self.backend.read_pages(lpns, now)
+                completion = end if end > completion else completion
+                stats.pages_read += page_count
         except OutOfSpaceError as exc:
             # End of life: the device cannot place this request.  A real
             # drive returns an error status per request, it does not
@@ -233,10 +246,11 @@ class Controller:
                  "op": request.op.value, "span_us": completion - now},
                 "host:0", "i",
             )
-        self.engine.schedule_at(completion, self._complete, request)
+        engine.post(completion, self._complete, request)
 
     def _complete(self, request: IoRequest) -> None:
-        self.outstanding -= 1
+        outstanding = self.outstanding - 1
+        self.outstanding = outstanding
         if request.streamed:
             # Return the NCQ slot; if admission stalled on a full
             # window, the deferred request enters now (never earlier
@@ -245,7 +259,7 @@ class Controller:
             if self._stream_deferred:
                 self._stream_deferred = False
                 self._admit()
-        response = request.response_us
+        response = request.completion_us - request.arrival_us
         if BUS.enabled:
             args = {"lpn": request.start_lpn, "pages": request.page_count}
             # Only set under fault injection — the fault-free trace
@@ -264,10 +278,11 @@ class Controller:
                 args,
                 "host:0",
             )
-            BUS.counter("queue_depth", self.engine.now, {"outstanding": self.outstanding})
-        for callback in self.on_complete:
-            callback(request)
-        if self.outstanding == 0:
+            BUS.counter("queue_depth", self.engine.now, {"outstanding": outstanding})
+        if self.on_complete:
+            for callback in self.on_complete:
+                callback(request)
+        if outstanding == 0:
             for callback in self.on_idle:
                 callback()
         self.stats.observe(response, request.op is IoOp.WRITE)

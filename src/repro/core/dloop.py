@@ -48,6 +48,7 @@ class DloopFtl(Ftl):
         gc_victim_policy: str = "greedy",
         translation_gc_mode: str = "batched",
         debug_checks: bool = False,
+        batch_kernels: bool = True,
     ):
         super().__init__(
             geometry,
@@ -75,6 +76,16 @@ class DloopFtl(Ftl):
             gc_mode=translation_gc_mode,
             fallback_allocator=self._fallback_allocator,
         )
+        self.batch_kernels = batch_kernels
+        # The flat batch kernel inlines this exact class's allocator and
+        # GC hooks, so it only attaches to an unsubclassed DloopFtl with
+        # copy-back GC; debug_checks needs the scalar path's per-op
+        # integrity hook.  Fault injection detaches it (attach_faults).
+        if batch_kernels and type(self) is DloopFtl and use_copyback and not debug_checks:
+            from repro.perf.kernels import DloopKernel
+
+            self._kernel = DloopKernel(self)
+            self.tm.kernel = self._kernel
 
     def _fallback_allocator(self):
         counts = [self.array.free_block_count(p) for p in range(self.num_planes)]
@@ -88,6 +99,9 @@ class DloopFtl(Ftl):
     def attach_faults(self, injector) -> None:
         super().attach_faults(injector)
         self.tm.faults = injector
+        # Fault seams live in the scalar methods only.
+        self._kernel = None
+        self.tm.kernel = None
 
     def _fault_relocation_alloc(self, owner: int, src_plane: int) -> int:
         # Relocations off a retiring block stay on its plane when it has
@@ -124,6 +138,9 @@ class DloopFtl(Ftl):
     # ---- host interface -------------------------------------------------------
 
     def read_page(self, lpn: int, start: float) -> float:
+        kernel = self._kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.read_page(lpn, start)
         self.check_lpn(lpn)
         self.stats.host_reads += 1
         t = self.tm.charge_lookup(lpn, start)
@@ -140,6 +157,9 @@ class DloopFtl(Ftl):
         return t
 
     def write_page(self, lpn: int, start: float) -> float:
+        kernel = self._kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.write_page(lpn, start)
         self.check_lpn(lpn)
         self.stats.host_writes += 1
         plane = self.plane_of_lpn(lpn)
@@ -257,6 +277,9 @@ class DloopFtl(Ftl):
 
     def _collect(self, plane: int, victim: int, now: float) -> float:
         """Reclaim one victim block; returns time after the erase."""
+        kernel = self._kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.collect(plane, victim, now)
         t = now
         allocator = self._gc_destination_allocator(plane)
         moved_data = []

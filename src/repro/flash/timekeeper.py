@@ -153,6 +153,86 @@ class FlashTimekeeper:
                      {"src_plane": src_plane, "dst_plane": dst_plane}, None, "i")
         return end
 
+    # ---- batch operations ----------------------------------------------------
+    #
+    # One call prices a whole run of same-kind operations issued at a
+    # common ``start`` (a request window's pages, a GC stream).  The
+    # folds are cumulative: each operation's admission point depends on
+    # the plane/channel holds left by the previous one, so the general
+    # case is a sequential fold over the plane array — exactly the
+    # scalar sequence, minus N-1 method dispatches.  Runs that land on a
+    # single plane reduce to a closed-form arithmetic chain (each op
+    # starts where the last one ended); that path is vectorisable and
+    # remains bit-identical because it performs the *same* additions in
+    # the same order.  Results are bit-identical to calling the scalar
+    # methods in a loop; tests/test_kernels.py locks this in.
+
+    def read_pages(self, planes, start: float) -> list:
+        """Price a read on each plane of ``planes`` (all issued at
+        ``start``); returns the per-operation completion times."""
+        if BUS.enabled:
+            return [self.read_page(plane, start) for plane in planes]
+        plane_free = self.plane_free
+        channel_free = self.channel_free
+        counters = self.counters
+        read_us = self.timing.page_read_us
+        xfer_us = self._page_xfer
+        geometry = self.geometry
+        die_aware = self.die_aware
+        ends = []
+        for plane in planes:
+            channel = geometry.plane_to_channel(plane)
+            pf = plane_free[plane]
+            sense_start = start if start > pf else pf
+            sense_end = sense_start + read_us
+            xfer_start = self._bus_ready(plane, channel, sense_end) if die_aware else (
+                sense_end if sense_end > channel_free[channel] else channel_free[channel]
+            )
+            end = xfer_start + xfer_us
+            plane_free[plane] = end
+            channel_free[channel] = end
+            if die_aware:
+                self.die_bus_free[geometry.plane_to_die(plane)] = end
+            counters.reads += 1
+            counters.channel_busy_us[channel] += end - xfer_start
+            counters.plane_ops[plane] += 1
+            counters.plane_busy_us[plane] += end - sense_start
+            ends.append(end)
+        return ends
+
+    def program_pages(self, planes, start: float) -> list:
+        """Price a program on each plane of ``planes`` (all issued at
+        ``start``); returns the per-operation completion times."""
+        if BUS.enabled:
+            return [self.program_page(plane, start) for plane in planes]
+        plane_free = self.plane_free
+        channel_free = self.channel_free
+        counters = self.counters
+        program_us = self.timing.page_program_us
+        xfer_us = self._page_xfer
+        geometry = self.geometry
+        die_aware = self.die_aware
+        ends = []
+        for plane in planes:
+            channel = geometry.plane_to_channel(plane)
+            xfer_start = self._bus_ready(plane, channel, start) if die_aware else (
+                start if start > channel_free[channel] else channel_free[channel]
+            )
+            xfer_end = xfer_start + xfer_us
+            channel_free[channel] = xfer_end
+            if die_aware:
+                self.die_bus_free[geometry.plane_to_die(plane)] = xfer_end
+            pf = plane_free[plane]
+            prog_start = xfer_end if xfer_end > pf else pf
+            end = prog_start + program_us
+            plane_free[plane] = end
+            counters.programs += 1
+            counters.channel_busy_us[channel] += xfer_end - xfer_start
+            counters.plane_ops[plane] += 1
+            counters.plane_busy_us[plane] += end - xfer_start
+            ends.append(end)
+        return ends
+
     # ---- introspection -------------------------------------------------------
 
     def quiesce_time(self) -> float:

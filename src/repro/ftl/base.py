@@ -91,6 +91,11 @@ class Ftl(abc.ABC):
         self.gc_stats = GcStats()
         self._gc_planes: set[int] = set()
         self._gc_pending: set[int] = set()
+        #: Batch kernel (repro.perf.kernels) when one is attached, else
+        #: None.  Dispatch sites additionally check ``BUS.enabled`` so
+        #: any TraceBus subscriber transparently reverts to the scalar
+        #: path (which owns all event emission).
+        self._kernel = None
         #: FaultInjector when fault injection is active, else None.  Hot
         #: paths guard with a single ``is None`` check so fault-free runs
         #: execute the exact original operation sequence.
@@ -114,6 +119,9 @@ class Ftl(abc.ABC):
         Subclasses may override to use multi-plane commands
         (Section II.B) for pages landing on one die.
         """
+        kernel = self._kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.write_pages(lpns, start)
         completion = start
         for lpn in lpns:
             completion = max(completion, self.write_page(lpn, start))
@@ -121,6 +129,9 @@ class Ftl(abc.ABC):
 
     def read_pages(self, lpns, start: float) -> float:
         """Serve a multi-page read; returns the last completion time."""
+        kernel = self._kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.read_pages(lpns, start)
         completion = start
         for lpn in lpns:
             completion = max(completion, self.read_page(lpn, start))
@@ -201,10 +212,10 @@ class Ftl(abc.ABC):
         # Device-wide scan: a plane that no longer receives writes (its
         # pool ran dry, so allocators avoid it) must still be collected,
         # or its garbage is stranded forever.
+        pools = self.array._free_pools
+        threshold = self.gc_threshold
         queue = {
-            p
-            for p in range(self.geometry.num_planes)
-            if self.array.free_block_count(p) < self.gc_threshold
+            p for p in range(self.geometry.num_planes) if len(pools[p]) < threshold
         }
         if not queue:
             return now
@@ -223,18 +234,18 @@ class Ftl(abc.ABC):
         while queue and budget > 0:
             # The triggering plane first — its caller is about to
             # allocate on it; then most-starved planes.
-            if plane in queue and self.array.free_block_count(plane) < self.gc_threshold:
+            if plane in queue and len(pools[plane]) < threshold:
                 p = plane
             else:
                 # Total ordering: ties on free count break by plane id,
                 # never by set iteration order (determinism lint DL103).
-                p = min(queue, key=lambda q: (self.array.free_block_count(q), q))
+                p = min(queue, key=lambda q: (len(pools[q]), q))
             queue.discard(p)
-            if self.array.free_block_count(p) >= self.gc_threshold:
+            if len(pools[p]) >= threshold:
                 continue
             t = self._gc_pass(p, t)
             budget -= 1
-            if self.array.free_block_count(p) < self.gc_threshold:
+            if len(pools[p]) < threshold:
                 queue.add(p)
             queue |= self._gc_pending
             self._gc_pending.clear()

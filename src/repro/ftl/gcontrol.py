@@ -95,6 +95,30 @@ def select_victim(
     """
     if policy not in VICTIM_POLICIES:
         raise ValueError(f"policy must be one of {VICTIM_POLICIES}")
+    if policy == "greedy":
+        # Scalar scan: a plane holds ~10^2 blocks, far below numpy's
+        # break-even, and greedy runs on every foreground GC pass.
+        # Ties break on the lowest block id (matches np.argmax).
+        blocks = array.plane_blocks(plane)
+        block_invalid = array.block_invalid
+        block_valid = array.block_valid
+        free_mask = array._block_is_free
+        bad_mask = array._block_is_bad
+        excluded = {b for b in exclude if b is not None}
+        best = None
+        best_invalid = 0
+        for block in range(blocks.start, blocks.stop):
+            inv = block_invalid[block]
+            if (
+                inv > best_invalid
+                and not free_mask[block]
+                and not bad_mask[block]
+                and block not in excluded
+                and (max_valid is None or block_valid[block] <= max_valid)
+            ):
+                best = block
+                best_invalid = inv
+        return best
     blocks = array.plane_blocks(plane)
     invalid = array.block_invalid_np[blocks.start : blocks.stop].astype(np.int64, copy=True)
     # Runtime-retired blocks stay out of the free pool with invalid

@@ -88,11 +88,19 @@ class TranslationManager:
         #: FaultInjector when fault injection is active (set by the
         #: owning FTL's ``attach_faults``), else None.
         self.faults = None
+        #: Batch kernel (repro.perf.kernels) when the owning FTL runs
+        #: one, else None.  The kernel inlines the CMT protocol; the
+        #: dispatch here keeps scalar callers (trim, bulk fill, GC
+        #: batch updates) on the same state machine.
+        self.kernel = None
 
     # ---- core protocol -----------------------------------------------------
 
     def charge_lookup(self, lpn: int, now: float) -> float:
         """Bring ``lpn``'s mapping into the CMT; returns time afterwards."""
+        kernel = self.kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.charge_lookup(lpn, now)
         if self.cmt.touch(lpn):
             if BUS.enabled:
                 BUS.emit("cmt", "hit", now, 0.0, {"lpn": lpn}, None, "i")
@@ -112,6 +120,9 @@ class TranslationManager:
 
     def charge_update(self, lpn: int, now: float) -> float:
         """Mark ``lpn``'s mapping updated (entry must end up cached dirty)."""
+        kernel = self.kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.charge_update(lpn, now)
         if self.cmt.touch(lpn):
             self.cmt.mark_dirty(lpn)
             return now
@@ -131,6 +142,9 @@ class TranslationManager:
 
     def write_back(self, tvpn: int, now: float) -> float:
         """Read-modify-write one translation page to flash."""
+        kernel = self.kernel
+        if kernel is not None and not BUS.enabled:
+            return kernel.write_back(tvpn, now)
         # Reclaim space on the target plane *before* taking a page from
         # it (it may be another plane than the one being collected).
         t = self.gc_hook(self.plane_of_tvpn(tvpn), now)

@@ -119,12 +119,32 @@ class StreamingRequestStats:
     # ---- accumulation (controller hot path) -------------------------------
 
     def observe(self, response_us: float, is_write: bool) -> None:
-        self.overall.push(response_us)
-        if is_write:
-            self.writes.push(response_us)
+        # One call per completed request: the Welford updates and the
+        # reservoir's append fast path are inlined (same arithmetic, in
+        # the same order, as RunningMoments.push / Reservoir.push — the
+        # moments stay bit-identical to the method-call form).
+        x = response_us
+        for m in (self.overall, self.writes if is_write else self.reads):
+            count = m.count + 1
+            m.count = count
+            delta = x - m.mean
+            mean = m.mean + delta / count
+            m.mean = mean
+            m._m2 += delta * (x - mean)
+            if x < m.min:
+                m.min = x
+            if x > m.max:
+                m.max = x
+        r = self.reservoir
+        seen = r.seen + 1
+        r.seen = seen
+        values = r.values
+        if len(values) < r.capacity:
+            values.append(x)
         else:
-            self.reads.push(response_us)
-        self.reservoir.push(response_us)
+            j = r._rng.randrange(seen)
+            if j < r.capacity:
+                values[j] = x
 
     # ---- RequestStats-compatible reporting surface ------------------------
 

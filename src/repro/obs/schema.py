@@ -44,6 +44,7 @@ CAT_CMT = "cmt"
 CAT_FAULT = "fault"
 CAT_ENGINE = "engine"
 CAT_COUNTER = "counter"
+CAT_PERF = "perf"
 
 # ---------------------------------------------------------------------------
 # Event names (grouped by category; values are the wire names)
@@ -107,6 +108,9 @@ EV_READ_LOSS = "read_loss"
 EV_READ_RETRY = "read_retry"
 EV_RELOCATE = "relocate"
 EV_BLOCK_RETIRED = "block_retired"
+
+# perf (batch-kernel observability)
+EV_BATCH_WINDOW = "batch_window"
 
 #: Wildcard name: the ``engine`` category names events after the
 #: dispatched callback's ``__qualname__``, so any name is legal.
@@ -449,6 +453,14 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
         modules=("repro.sim.engine",),
         description="event dispatch, named after the callback qualname; "
                     "seq orders same-timestamp events",
+    ),
+    # ---- perf (batch-kernel observability) -------------------------------
+    EventSchema(
+        CAT_PERF, EV_BATCH_WINDOW,
+        {"requests": "count"},
+        ph="X", modules=("repro.traces.stream",), export_only=True,
+        description="one fused-generation chunk: the arrival-time window "
+                    "a batch of requests was produced in",
     ),
     # ---- counters --------------------------------------------------------
     EventSchema(

@@ -34,6 +34,12 @@ from repro.perf.fingerprint import engine_fingerprint, ftl_fingerprint
 #: (fingerprint, work_units, unit) returned by every benchmark body.
 BenchOutcome = Tuple[Dict[str, Any], int, str]
 
+#: Suite-wide switch for the DLOOP batch kernels (repro.perf.kernels).
+#: ``repro-sim bench --no-batch-kernels`` clears it so CI can prove the
+#: scalar path produces identical fingerprints (and see its speed).
+#: Read at call time by every benchmark that builds a DLOOP FTL.
+BATCH_KERNELS = True
+
 
 @dataclass(frozen=True)
 class Benchmark:
@@ -102,7 +108,7 @@ def _ftl_mix(ftl_name: str, quick: bool, *, ops: int, footprint_frac: float = 0.
     from repro.ftl.registry import create_ftl
 
     geometry = bench_geometry()
-    ftl = create_ftl(ftl_name, geometry, TimingParams())
+    ftl = create_ftl(ftl_name, geometry, TimingParams(), batch_kernels=BATCH_KERNELS)
     num_lpns = geometry.num_lpns
     footprint = int(num_lpns * footprint_frac)
     ftl.bulk_fill(footprint)
@@ -130,7 +136,7 @@ def _gc_steady_dloop(quick: bool) -> BenchOutcome:
     from repro.ftl.registry import create_ftl
 
     geometry = bench_geometry()
-    ftl = create_ftl("dloop", geometry, TimingParams())
+    ftl = create_ftl("dloop", geometry, TimingParams(), batch_kernels=BATCH_KERNELS)
     num_lpns = geometry.num_lpns
     ftl.bulk_fill(int(num_lpns * 0.80))
     ftl.clock.reset_measurements()
@@ -153,7 +159,8 @@ def _device_dloop(quick: bool) -> BenchOutcome:
     from repro.sim.request import IoOp
 
     geometry = bench_geometry()
-    ssd = SimulatedSSD(geometry, TimingParams(), ftl="dloop")
+    ssd = SimulatedSSD(geometry, TimingParams(), ftl="dloop",
+                       batch_kernels=BATCH_KERNELS)
     ssd.precondition(0.6)
 
     n = 2_000 if quick else 8_000
@@ -188,10 +195,11 @@ def _stream_device_dloop(quick: bool) -> BenchOutcome:
     """
     from repro.controller.device import SimulatedSSD
     from repro.traces.model import SizeMix, WorkloadSpec
-    from repro.traces.stream import io_requests, stream_workload
+    from repro.traces.stream import stream_io_requests
 
     geometry = bench_geometry()
-    ssd = SimulatedSSD(geometry, TimingParams(), ftl="dloop")
+    ssd = SimulatedSSD(geometry, TimingParams(), ftl="dloop",
+                       batch_kernels=BATCH_KERNELS)
     ssd.precondition(0.6)
 
     n = 25_000 if quick else 200_000
@@ -207,9 +215,7 @@ def _stream_device_dloop(quick: bool) -> BenchOutcome:
         chunk_bytes=64 * 1024,
         seed=0x57BEA8,
     )
-    end = ssd.run_stream(
-        io_requests(stream_workload(spec), geometry), queue_depth=32
-    )
+    end = ssd.run_stream(stream_io_requests(spec, geometry), queue_depth=32)
 
     fp = ftl_fingerprint(ssd.ftl, end)
     fp.update(engine_fingerprint(ssd.engine))

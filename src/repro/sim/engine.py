@@ -85,6 +85,21 @@ class Engine:
         self._pending += 1
         return handle
 
+    def post(self, time: float, callback: Callable[..., Any], arg: Any) -> None:
+        """Schedule ``callback(arg)`` at ``time`` — fire-and-forget.
+
+        The hot-path twin of :meth:`schedule_at` for events nobody ever
+        cancels (request arrivals/completions): the heap entry is a bare
+        ``(time, seq, callback, arg)`` tuple, so no :class:`EventHandle`
+        is allocated.  Sequence numbers come from the same counter, so
+        posts and scheduled events interleave in exactly the order the
+        calls were made — determinism is unchanged.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        heapq.heappush(self._heap, (time, next(self._seq), callback, arg))
+        self._pending += 1
+
     def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` microseconds."""
         if delay < 0:
@@ -121,7 +136,11 @@ class Engine:
         vanishes mid-air).  Returns the number of events dropped.  The
         clock does not move; the engine can schedule and run again."""
         dropped = 0
-        for _time, _seq, handle in self._heap:
+        for entry in self._heap:
+            handle = entry[2]
+            if handle.__class__ is not EventHandle:  # posted: always pending
+                dropped += 1
+                continue
             if not (handle.cancelled or handle.fired):
                 handle.cancelled = True
                 dropped += 1
@@ -141,29 +160,38 @@ class Engine:
         """Fire the next event.  Returns False if the queue is empty."""
         heap = self._heap
         while heap:
-            time, seq, handle = heapq.heappop(heap)
-            if handle.cancelled:
+            entry = heapq.heappop(heap)
+            time = entry[0]
+            x = entry[2]
+            if x.__class__ is not EventHandle:
+                self._pending -= 1
+                self._now = time
+                self._events_processed += 1
+                if BUS.enabled:
+                    self._trace_dispatch(time, entry[1], x)
+                x(entry[3])
+                return True
+            if x.cancelled:
                 continue
-            handle.fired = True
+            x.fired = True
             self._pending -= 1
             self._now = time
             self._events_processed += 1
             if BUS.enabled:
-                self._trace_dispatch(handle)
-            handle.callback(*handle.args)
+                self._trace_dispatch(time, x.seq, x.callback)
+            x.callback(*x.args)
             return True
         return False
 
-    def _trace_dispatch(self, handle: EventHandle) -> None:
-        callback = handle.callback
+    def _trace_dispatch(self, time: float, seq: int, callback) -> None:
         # ``seq`` lets observers (the sanitizer) verify that
         # same-timestamp events fire in scheduling order.
         BUS.emit(
             "engine",
             getattr(callback, "__qualname__", None) or repr(callback),
-            handle.time,
+            time,
             0.0,
-            {"seq": handle.seq},
+            {"seq": seq},
             None,
             "i",
         )
@@ -180,24 +208,41 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         bus = BUS
+        handle_cls = EventHandle
         while heap:
             entry = heap[0]
-            handle = entry[2]
-            if handle.cancelled:
+            # Posted entries carry the callback at index 2, scheduled
+            # ones the EventHandle; a hoisted class check is the
+            # cheapest discrimination the loop can do per event.
+            x = entry[2]
+            if x.__class__ is handle_cls:
+                if x.cancelled:
+                    pop(heap)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
                 pop(heap)
-                continue
-            time = entry[0]
-            if until is not None and time > until:
-                self._now = until
-                return until
-            pop(heap)
-            handle.fired = True
-            self._pending -= 1
-            self._now = time
-            self._events_processed += 1
-            if bus.enabled:
-                self._trace_dispatch(handle)
-            handle.callback(*handle.args)
+                x.fired = True
+                self._pending -= 1
+                self._now = time
+                self._events_processed += 1
+                if bus.enabled:
+                    self._trace_dispatch(time, x.seq, x.callback)
+                x.callback(*x.args)
+            else:
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                pop(heap)
+                self._pending -= 1
+                self._now = time
+                self._events_processed += 1
+                if bus.enabled:
+                    self._trace_dispatch(time, entry[1], x)
+                x(entry[3])
         if until is not None and until > self._now:
             self._now = until
         return self._now

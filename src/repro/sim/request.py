@@ -18,7 +18,7 @@ class IoOp(enum.Enum):
     TRIM = "trim"
 
 
-@dataclass
+@dataclass(slots=True)
 class IoRequest:
     """A page-aligned host request.
 
