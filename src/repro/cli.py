@@ -11,6 +11,7 @@ The subcommands cover the library's workflows end to end::
     repro-sim sweep     --figure 8 --out fig8.csv ...           # a paper grid
     repro-sim bench     --quick --check BENCH_seed.json         # perf suite + gate
     repro-sim conform   --ftls dloop dftl --json report.json    # contract conformance
+    repro-sim torture   --budget 40 --json torture.json         # crash-point sweeps
     repro-sim report    --input results.json                    # tables/charts
     repro-sim lint      src                                     # determinism linter
 
@@ -135,8 +136,6 @@ def cmd_simulate(args) -> int:
     if args.stream and args.iodepth:
         raise SystemExit("--stream is not supported with --iodepth "
                          "(closed-loop mode has its own admission model)")
-    if args.stream and args.crash_at_ms is not None:
-        raise SystemExit("--stream is not supported with --crash-at-ms")
     if args.replay:
         trace = iter_trace_file(args.replay) if args.stream else _load_trace(args.replay)
         trace_name = args.replay
@@ -535,6 +534,88 @@ def cmd_conform(args) -> int:
     return 0
 
 
+def cmd_torture(args) -> int:
+    import json
+
+    from repro.torture import CRASH_KINDS, CampaignConfig, TortureCampaign
+
+    if args.budget is not None and args.budget < 1:
+        raise SystemExit("--budget must be >= 1 (omit it for an exhaustive sweep)")
+    if args.queue_depth is not None and not args.stream:
+        raise SystemExit("--queue-depth requires --stream")
+    config = CampaignConfig(
+        ftls=tuple(args.ftls),
+        workloads=tuple(args.workloads),
+        fault_plans=tuple(args.faults),
+        num_requests=args.requests,
+        base_seed=args.seed,
+        budget=args.budget,
+        double=args.double,
+        write_buffer_pages=args.write_buffer,
+        stream=args.stream,
+        queue_depth=args.queue_depth,
+    )
+    campaign = TortureCampaign(config)
+
+    if args.point is not None:
+        # Single-replay repro mode: the command the sweep report prints
+        # for a failing point lands here.
+        kind, sep, index = args.point.partition(":")
+        if not sep or not index.isdigit() or kind not in CRASH_KINDS:
+            raise SystemExit(
+                f"--point must be KIND:INDEX with KIND in {CRASH_KINDS}, "
+                f"e.g. program:17"
+            )
+        point = (kind, int(index))
+        failures = 0
+        for cell in campaign.cells():
+            result = campaign.run_point(cell, point, double=args.double)
+            verdict = "ok" if not result.violations else "VIOLATION"
+            if not result.fired:
+                verdict = "unreached"
+            print(f"{cell.cell_id} @ {kind}:{point[1]}"
+                  f"{' (double)' if args.double else ''}: {verdict} "
+                  f"(recovered {result.recovered_mappings} mappings, "
+                  f"{result.excused} excused)")
+            for v in result.violations:
+                failures += 1
+                print(f"  {v.kind}: lpn={v.lpn} acked_write={v.acked_write} "
+                      f"acked_trim={v.acked_trim} issued={v.issued} "
+                      f"mapped={v.mapped}")
+        return 1 if failures else 0
+
+    report = campaign.run()
+    rows = [
+        {
+            "cell": c["cell"],
+            "points": f"{c['points_run']}/{c['points_total']}"
+                      + (" (sampled)" if c["sampled"] else ""),
+            "unreached": c["unreached"],
+            "excused": c["excused_total"],
+            "violations": c["violations_total"],
+        }
+        for c in report["cells"]
+    ]
+    print(format_table(
+        rows,
+        title=f"torture sweep: {report['total_points_run']} crash replays, "
+              f"{report['total_violations']} violations",
+    ))
+    for c in report["cells"]:
+        if c["first_failing"]:
+            print(f"\n{c['cell']} first failing point "
+                  f"{c['first_failing']['point']}"
+                  f"{' (double)' if c['first_failing']['double'] else ''} — "
+                  f"reproduce with:\n  {c['first_failing']['repro']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+        print(f"\nreport saved to {args.json}")
+    return 1 if report["total_violations"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -677,6 +758,61 @@ def build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--json", metavar="OUT.json",
                          help="save the full report as canonical JSON")
     conform.set_defaults(func=cmd_conform)
+
+    torture = sub.add_parser(
+        "torture",
+        help="crash-consistency torture campaign (crash-point sweep + "
+             "durability oracle)",
+        description="Replay each (FTL x workload x fault plan) cell once to "
+                    "discover every candidate crash point (flash programs "
+                    "and erases, GC relocation steps, write-buffer flushes, "
+                    "map-journal commits), then deterministically re-run the "
+                    "trace power-failing at each point, recover, and check "
+                    "the durability oracle: every acknowledged write reads "
+                    "back, nothing is fabricated, trimmed data stays dead. "
+                    "Exhaustive by default; --budget N replays a seeded "
+                    "sample. Exits non-zero on any violation. "
+                    "See docs/robustness.md.",
+    )
+    torture.add_argument("--ftls", nargs="*", choices=available_ftls(),
+                         default=["dloop", "dftl", "fast", "pagemap"])
+    torture.add_argument("--workloads", nargs="*",
+                         choices=PAPER_TRACE_NAMES + EXTRA_TRACE_NAMES,
+                         default=["build"])
+    torture.add_argument("--requests", type=int, default=24,
+                         help="trace length per cell (the sweep geometry is "
+                              "tiny; every request spawns many crash points)")
+    torture.add_argument("--seed", type=int, default=0xD100,
+                         help="campaign base seed (per-cell seeds derive "
+                              "from it deterministically)")
+    torture.add_argument("--budget", type=int, default=None,
+                         help="max crash points replayed per cell "
+                              "(seeded sample; default: exhaustive)")
+    torture.add_argument("--faults", nargs="*",
+                         choices=("none", "moderate"), default=["none"],
+                         help="fault-plan axis (plans other than 'none' are "
+                              "skipped for FTLs without error-path support)")
+    torture.add_argument("--double", action="store_true",
+                         help="also re-crash each point during recovery "
+                              "(second cut at the first recovery erase)")
+    torture.add_argument("--write-buffer", type=int, default=None,
+                         metavar="PAGES",
+                         help="put a volatile DRAM write buffer of N pages "
+                              "in front of the FTL (adds wb_flush points)")
+    torture.add_argument("--stream", action="store_true",
+                         help="replay through the NCQ streaming admission "
+                              "path instead of materialized submission")
+    torture.add_argument("--queue-depth", type=int, default=None,
+                         help="bound the streaming admission window "
+                              "(requires --stream)")
+    torture.add_argument("--point", metavar="KIND:INDEX",
+                         help="replay a single crash point per cell instead "
+                              "of sweeping (the repro command a failing "
+                              "sweep prints)")
+    torture.add_argument("--json", metavar="OUT.json",
+                         help="save the full report as canonical JSON "
+                              "(byte-identical across identical campaigns)")
+    torture.set_defaults(func=cmd_torture)
 
     rep = sub.add_parser("report", help="render saved results")
     rep.add_argument("--input", required=True)

@@ -89,6 +89,9 @@ class Controller:
         self.on_idle: list = []
         #: callbacks fired after every request completion (gets the request)
         self.on_complete: list = []
+        #: durability bookkeeper (repro.torture.AckLedger) — None keeps
+        #: the hot path free of any per-request overhead
+        self.ledger = None
         # Streaming admission (submit_stream): the not-yet-admitted tail
         # of the trace, the number of admitted-but-uncompleted streamed
         # requests, and whether admission is blocked on a full window.
@@ -159,6 +162,19 @@ class Controller:
             arrival if arrival > now else now, self._arrive_streamed, request
         )
 
+    def abort_stream(self) -> None:
+        """Drop all streaming admission state (power loss mid-stream).
+
+        Admitted-but-uncompleted streamed requests vanish with the event
+        queue, exactly like NCQ slots on a real power cut; the
+        not-yet-admitted tail stays in the caller's iterator, so the
+        caller decides what (if anything) to replay after recovery.
+        """
+        self._stream = None
+        self._stream_depth = None
+        self._stream_window = 0
+        self._stream_deferred = False
+
     def _arrive_streamed(self, request: IoRequest) -> None:
         # Pull the successor *before* serving this request so the next
         # arrival is scheduled from the current clock — for monotone
@@ -187,6 +203,11 @@ class Controller:
                  "op": request.op.value},
                 "host:0", "i",
             )
+        ledger = self.ledger
+        if ledger is not None:
+            # Must run before dispatch: the ledger stamps the issue-time
+            # content generation that the flash programs below record.
+            ledger.issued(request)
         faults = self.ftl.faults
         if faults is not None:
             retries_before = faults.stats.read_retries + faults.stats.program_failures

@@ -273,6 +273,10 @@ class SimulatedSSD:
         now = self.engine.now
         dropped = self.engine.clear_pending()
         self.controller.outstanding = 0
+        # NCQ admission state is volatile too: admitted-but-uncompleted
+        # streamed requests are gone with the event queue, and the
+        # not-yet-admitted tail stays with whoever owns the iterator.
+        self.controller.abort_stream()
         lost_buffered = 0
         if self.write_buffer is not None:
             lost_buffered = self.write_buffer.discard()
@@ -296,14 +300,28 @@ class SimulatedSSD:
             "recovered_mappings": recovered,
         }
 
-    def run_with_crash(self, requests: Iterable[IoRequest], crash_at_us: float) -> dict:
+    def run_with_crash(
+        self,
+        requests: Iterable[IoRequest],
+        crash_at_us: float,
+        *,
+        stream: bool = False,
+        queue_depth: Optional[int] = None,
+    ) -> dict:
         """Run until ``crash_at_us``, then power-fail and recover.
 
         Requests still in flight (or not yet arrived) at the crash
-        instant are lost, exactly as on a real power cut.  Returns the
+        instant are lost, exactly as on a real power cut.  With
+        ``stream=True`` the requests are admitted through the NCQ window
+        (:meth:`Controller.submit_stream`); a crash mid-stream drops the
+        admitted-but-uncompleted window and leaves the unconsumed tail
+        in the caller's iterator for post-recovery replay.  Returns the
         :meth:`crash` summary.
         """
-        self.controller.submit_many(requests)
+        if stream:
+            self.controller.submit_stream(iter(requests), queue_depth=queue_depth)
+        else:
+            self.controller.submit_many(requests)
         self.engine.run(until=crash_at_us)
         return self.crash()
 

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.ftl.base import Ftl
+from repro.obs.tracebus import BUS
 
 
 @dataclass
@@ -95,6 +96,11 @@ class WriteBuffer:
     def flush(self, now: float = 0.0) -> float:
         """Write every buffered page to flash (shutdown / barrier)."""
         t = now
+        if BUS.enabled and self._dirty:
+            # Emitted before the first eviction program: a crash armed on
+            # this event models power failing at the flush barrier with
+            # every buffered page still volatile.
+            BUS.emit("wb", "flush", now, 0.0, {"pages": len(self._dirty)}, None, "i")
         while self._dirty:
             lpn, _ = self._dirty.popitem(last=False)
             t = self.ftl.write_page(lpn, t)

@@ -103,6 +103,12 @@ class DloopFtl(Ftl):
         self._kernel = None
         self.tm.kernel = None
 
+    def detach_kernel(self) -> None:
+        # Armed crash points must never be skipped by the batch kernel:
+        # clear both the FTL's and the translation manager's references.
+        self._kernel = None
+        self.tm.kernel = None
+
     def _fault_relocation_alloc(self, owner: int, src_plane: int) -> int:
         # Relocations off a retiring block stay on its plane when it has
         # space (preserving copy-back eligibility for later GC), roaming
@@ -293,6 +299,7 @@ class DloopFtl(Ftl):
         overflow = False  # plane space exhausted mid-pass: degrade moves
         for ppn in valids:
             owner = self.array.owner_of(ppn)
+            self.array.stage_copy_gen(ppn)
             move_start = t
             if overflow:
                 new_ppn = self._gc_alloc_any(owner)
@@ -388,6 +395,10 @@ class DloopFtl(Ftl):
     def _rebuild_extra_state(self, translation_ppns, translation_owners) -> None:
         """Recover the GTD from on-flash translation pages and drop the
         (volatile) CMT — the demand-paged state a power cycle loses."""
+        # Forget first: a crash between write_back's invalidate-old and
+        # program-new leaves a tvpn with no valid page; a surviving SRAM
+        # entry would point at the invalidated page.
+        self.gtd.clear()
         for ppn, owner in zip(translation_ppns, translation_owners):
             self.gtd.update(decode_translation_owner(int(owner)), int(ppn))
         from repro.ftl.cmt import CachedMappingTable

@@ -116,8 +116,10 @@ def run_simulation(
     response times are accumulated by the O(1)-memory streaming stats,
     so multi-million-request traces run in bounded memory.  In stream
     mode ``steady_response_ms`` is the overall mean (steady-state
-    detection needs the full latency series) and ``crash_at_us`` is
-    unsupported.
+    detection needs the full latency series).  ``crash_at_us`` composes
+    with streaming: the admitted-but-uncompleted NCQ window is lost
+    with the power cut and the not-yet-admitted tail of the trace
+    resumes on the recovered device.
     """
     wall_start = time.perf_counter()  # dl: disable=DL101 — host wall-time metric, not sim state
     ssd = SimulatedSSD(
@@ -134,15 +136,28 @@ def run_simulation(
 
     extras: dict = {}
     if stream:
-        if crash_at_us is not None:
-            raise ValueError("crash_at_us is not supported with stream=True "
-                             "(crash splitting needs the materialized trace)")
         from repro.traces.stream import io_requests
 
+        stream_iter = io_requests(trace, config.geometry)
+
         def _drive() -> float:
-            return ssd.run_stream(
-                io_requests(trace, config.geometry), queue_depth=queue_depth
+            if crash_at_us is None:
+                return ssd.run_stream(stream_iter, queue_depth=queue_depth)
+            # Power-fail mid-stream.  Swap in the streaming stats first
+            # so pre-crash completions land in the same accumulator the
+            # post-recovery resume uses; the admitted-but-uncompleted
+            # NCQ window dies with the event queue, and the
+            # not-yet-admitted tail is still in the iterator — it
+            # replays on the recovered device (arrivals now in the past
+            # are admitted at the recovery clock).
+            from repro.metrics.streaming import StreamingRequestStats
+
+            if not isinstance(ssd.controller.stats, StreamingRequestStats):
+                ssd.controller.stats = StreamingRequestStats()
+            extras["crash"] = ssd.run_with_crash(
+                stream_iter, crash_at_us, stream=True, queue_depth=queue_depth
             )
+            return ssd.run_stream(stream_iter, queue_depth=queue_depth)
     else:
         capacity = config.geometry.capacity_bytes
         requests: List = []

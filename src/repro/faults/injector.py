@@ -169,12 +169,14 @@ class FaultInjector:
 
     # ---- read path -------------------------------------------------------
 
-    def read(self, plane: int, now: float) -> Tuple[float, int]:
+    def read(self, plane: int, now: float, lpn: int | None = None) -> Tuple[float, int]:
         """Fault-aware host read: base latency plus retry senses.
 
         Returns ``(t, outcome)`` where outcome is 0 (clean), ``k > 0``
         (correctable after ``k`` retries, already charged), or
         ``READ_LOST`` (uncorrectable — the caller must unmap the page).
+        ``lpn`` identifies the logical page for loss accounting (the
+        torture ledger excuses lost pages from the durability oracle).
         """
         outcome = self.plan.next_read_outcome()
         t = self.clock.read_page(plane, now)
@@ -185,9 +187,10 @@ class FaultInjector:
             stats.uncorrectable_reads += 1
             stats.sites.append(("read_loss", self.plan.read_decisions - 1))
             if BUS.enabled:
-                BUS.emit("fault", "read_loss", 0.0, 0.0,
-                         {"plane": plane,
-                          "site": self.plan.read_decisions - 1}, None, "i")
+                args = {"plane": plane, "site": self.plan.read_decisions - 1}
+                if lpn is not None:
+                    args["lpn"] = lpn
+                BUS.emit("fault", "read_loss", 0.0, 0.0, args, None, "i")
             return t, READ_LOST
         for _ in range(outcome):
             t = self.clock.read_page(plane, t)

@@ -114,6 +114,21 @@ class FlashArray:
         self._gc_threshold: Optional[int] = None
         self.gc_low_plane_count = 0
 
+        # Modeled OOB content generations (torture campaigns' durability
+        # oracle).  ``None`` when disarmed: every hot-path branch below
+        # is a single ``is None`` test, so untortured runs stay
+        # bit-identical and pay no bookkeeping cost.
+        self.page_gen: Optional[array] = None
+        self.page_gen_np: Optional[np.ndarray] = None
+        self.lpn_gen: Optional[array] = None
+        self.lpn_gen_np: Optional[np.ndarray] = None
+        # Auto-increment content counters for non-data owners
+        # (translation pages, journal pages).
+        self._owner_gen: dict = {}
+        # One pending ``(owner, generation)`` pair staged by a
+        # relocation copy; consumed by the next program of that owner.
+        self._staged_gen: Optional[tuple] = None
+
     # ---- pool management -------------------------------------------------
 
     def free_block_count(self, plane: int) -> int:
@@ -229,6 +244,66 @@ class FlashArray:
         """Read-only view: True where the block sits in a free pool."""
         return self._block_is_free_np
 
+    # ---- OOB content generations (torture campaigns) -----------------------
+
+    def enable_oob_generations(self) -> None:
+        """Arm per-page content-generation stamps in the modeled OOB.
+
+        Each programmed page carries the generation of the content it
+        holds: for data pages the issue-time generation of the LPN (the
+        acknowledgment ledger bumps ``lpn_gen`` when the host write is
+        issued), for translation/journal pages an auto-increment per
+        owner.  The durability oracle compares the generation mapped
+        after a crash against what the host was acknowledged.
+        Idempotent; there is no disarm — campaigns build a fresh array
+        per replay.
+        """
+        if self.page_gen is not None:
+            return
+        self.page_gen = array("q", bytes(8 * self.geometry.num_physical_pages))
+        self.page_gen_np = np.frombuffer(self.page_gen, dtype=np.int64)
+        self.lpn_gen = array("q", bytes(8 * self.geometry.num_lpns))
+        self.lpn_gen_np = np.frombuffer(self.lpn_gen, dtype=np.int64)
+        self._owner_gen = {}
+        self._staged_gen = None
+
+    def stage_copy_gen(self, src_ppn: int) -> None:
+        """Stage ``src_ppn``'s generation for the next program of the
+        same owner.
+
+        Relocation copies (GC, merges, retirement drains) preserve the
+        *content* of the source page, which may be older than the
+        latest issued generation of the owner (newer content can sit
+        unflushed in the DRAM write buffer) — stamping ``lpn_gen`` on a
+        copy would falsely promote stale flash content.  No-op when
+        generations are disarmed.
+        """
+        if self.page_gen is None:
+            return
+        self._staged_gen = (self.page_owner[src_ppn], self.page_gen[src_ppn])
+
+    def clear_staged_gen(self) -> None:
+        """Drop any staged relocation generation (request boundary)."""
+        self._staged_gen = None
+
+    def read_gen(self, ppn: int) -> Optional[int]:
+        """The content generation stamped on ``ppn`` (None when disarmed)."""
+        if self.page_gen is None:
+            return None
+        return self.page_gen[ppn]
+
+    def restamp_gen(self, ppn: int, gen: int) -> None:
+        """Overwrite ``ppn``'s generation after an indirect relocation.
+
+        For relocation paths that cannot stage (the copy's program may
+        be preceded by unrelated programs of the same owner, e.g. a
+        FAST merge triggered while appending): capture the source
+        generation with :meth:`read_gen` first, then restamp the final
+        location.  No-op when disarmed.
+        """
+        if self.page_gen is not None:
+            self.page_gen[ppn] = gen
+
     # ---- page operations ---------------------------------------------------
 
     def program(self, ppn: int, owner: int) -> None:
@@ -251,7 +326,21 @@ class FlashArray:
         self.block_valid[block] += 1
         self.write_stamp += 1
         self.block_write_stamp[block] = self.write_stamp
-        if BUS.enabled:
+        if self.page_gen is not None:
+            staged = self._staged_gen
+            if staged is not None and staged[0] == owner:
+                gen = staged[1]
+                self._staged_gen = None
+            elif owner >= 0:
+                gen = self.lpn_gen[owner]
+            else:
+                gen = self._owner_gen.get(owner, 0) + 1
+                self._owner_gen[owner] = gen
+            self.page_gen[ppn] = gen
+            if BUS.enabled:
+                BUS.emit("array", "program", 0.0, 0.0,
+                         {"ppn": ppn, "owner": owner, "gen": gen}, None, "i")
+        elif BUS.enabled:
             BUS.emit("array", "program", 0.0, 0.0, {"ppn": ppn, "owner": owner}, None, "i")
 
     def invalidate(self, ppn: int) -> None:
@@ -320,6 +409,12 @@ class FlashArray:
         self.block_write_ptr[block] = n
         self.write_stamp += n
         self.block_write_stamp[block] = self.write_stamp
+        if self.page_gen is not None:
+            # Preconditioning fills carry the owners' current issue
+            # generations (0 for never-written LPNs, so a fresh fill is
+            # all generation-0 content).
+            data = owners >= 0
+            self.page_gen_np[first : first + n][data] = self.lpn_gen_np[owners[data]]
         if BUS.enabled:
             BUS.emit("array", "bulk_fill", 0.0, 0.0, {"block": block, "count": n}, None, "i")
         return np.arange(first, first + n, dtype=np.int64)

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.flash.address import PageState, is_translation_owner
+from repro.flash.address import OWNER_NONE, PageState, is_translation_owner
 from repro.flash.array import FlashArray
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timekeeper import FlashTimekeeper
@@ -370,6 +370,7 @@ class Ftl(abc.ABC):
         moved_data: list = []
         for ppn in list(self.array.valid_pages_in_block(victim)):
             owner = self.array.owner_of(ppn)
+            self.array.stage_copy_gen(ppn)
             new_ppn = self._gc_alloc_any(owner)
             t = self.clock.inter_plane_copy(plane, self.codec.ppn_to_plane(new_ppn), t)
             self.gc_stats.controller_moves += 1
@@ -402,6 +403,15 @@ class Ftl(abc.ABC):
             )
         self.faults = injector
 
+    def detach_kernel(self) -> None:
+        """Drop any attached batch kernel (scalar path from here on).
+
+        Armed crash points — like faults and debug checks — need the
+        scalar path's per-operation event emission; subclasses with
+        kernel plumbing override to also clear their references.
+        """
+        self._kernel = None
+
     def _fault_relocation_alloc(self, owner: int, src_plane: int) -> int:
         """Destination for a page relocated off a retiring block.
 
@@ -426,6 +436,7 @@ class Ftl(abc.ABC):
         moved_data: list = []
         for ppn in list(self.array.valid_pages_in_block(block)):
             owner = self.array.owner_of(ppn)
+            self.array.stage_copy_gen(ppn)
             new_ppn = self._fault_relocation_alloc(owner, src_plane)
             dst_plane = self.codec.ppn_to_plane(new_ppn)
             t = self.clock.inter_plane_copy(src_plane, dst_plane, t)
@@ -493,7 +504,7 @@ class Ftl(abc.ABC):
         and the per-request accounting in the controller)."""
         from repro.faults.plan import READ_LOST
 
-        t, outcome = self.faults.read(self.codec.ppn_to_plane(ppn), now)
+        t, outcome = self.faults.read(self.codec.ppn_to_plane(ppn), now, lpn=lpn)
         if outcome == READ_LOST:
             self.array.invalidate(ppn)
             self.page_table[lpn] = -1
@@ -548,12 +559,58 @@ class Ftl(abc.ABC):
         tables) extend :meth:`_rebuild_extra_state`.
         """
         self.page_table_np.fill(-1)
-        valid_ppns = np.flatnonzero(self.array.page_state_np == PageState.VALID)
-        owners = self.array.page_owner_np[valid_ppns]
+        array = self.array
+        valid_ppns = np.flatnonzero(array.page_state_np == PageState.VALID)
+        owners = array.page_owner_np[valid_ppns]
+        # Mid-operation crash artifacts.  A crash at an event boundary
+        # (the only kind a plain power cut produces — all FTL work is
+        # synchronous within one dispatch) leaves neither of these, so
+        # both scrubs are no-ops outside torture campaigns:
+        #  * a journal page caught between its program and the
+        #    immediate invalidate stays VALID with OWNER_NONE — drop it
+        #    (a real controller discards records whose CRC is torn);
+        #  * an update caught between program-new and invalidate-old
+        #    leaves two VALID copies of one owner — keep exactly one.
+        none_mask = owners == OWNER_NONE
+        if none_mask.any():
+            for ppn in valid_ppns[none_mask]:
+                array.invalidate(int(ppn))
+            keep = ~none_mask
+            valid_ppns = valid_ppns[keep]
+            owners = owners[keep]
+        if len(owners) != len(np.unique(owners)):
+            valid_ppns, owners = self._resolve_duplicate_owners(valid_ppns, owners)
         data_mask = owners >= 0
         self.page_table_np[owners[data_mask]] = valid_ppns[data_mask]
         self._rebuild_extra_state(valid_ppns[~data_mask], owners[~data_mask])
         return int(np.count_nonzero(data_mask))
+
+    def _resolve_duplicate_owners(self, valid_ppns: np.ndarray, owners: np.ndarray):
+        """Keep exactly one VALID page per owner, invalidating the rest.
+
+        The winner is the lexicographic max of ``(generation, ppn)``:
+        content generations come from the modeled OOB when armed
+        (torture campaigns), else every page ties at 0 and the highest
+        PPN wins — the same page the scatter's last-writer-wins order
+        would have kept.
+        """
+        array = self.array
+        if array.page_gen_np is not None:
+            gens = array.page_gen_np[valid_ppns]
+        else:
+            gens = np.zeros(len(valid_ppns), dtype=np.int64)
+        order = np.lexsort((valid_ppns, gens))
+        keep = np.ones(len(valid_ppns), dtype=bool)
+        best: dict = {}
+        for idx in order:
+            owner = int(owners[idx])
+            prev = best.get(owner)
+            if prev is not None:
+                keep[prev] = False
+            best[owner] = idx
+        for idx in np.flatnonzero(~keep):
+            array.invalidate(int(valid_ppns[idx]))
+        return valid_ppns[keep], owners[keep]
 
     def _rebuild_extra_state(self, translation_ppns: np.ndarray, translation_owners: np.ndarray) -> None:
         """Hook: restore structures beyond the page table (default none)."""
@@ -568,8 +625,28 @@ class Ftl(abc.ABC):
         """
         self.on_power_loss()
         recovered = self.rebuild_mapping()
+        self._reclaim_stranded_blocks()
         self._post_recovery()
         return recovered
+
+    def _reclaim_stranded_blocks(self) -> None:
+        """Return in-use blocks with no content and no history to the pool.
+
+        A crash between an erase and its ``release_block`` (GC, journal
+        ring advance) strands a fully erased block outside every free
+        pool; nothing would ever reclaim it.  At event-boundary crashes
+        no such block exists and this is a no-op.
+        """
+        array = self.array
+        stranded = np.flatnonzero(
+            ~array.block_free_mask
+            & ~array.bad_block_mask
+            & (array.block_valid_np == 0)
+            & (array.block_invalid_np == 0)
+            & (array.block_write_ptr_np == 0)
+        )
+        for block in stranded:
+            array.release_block(int(block))
 
     def on_power_loss(self) -> None:
         """Discard state a real controller loses at power-off.

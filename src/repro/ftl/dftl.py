@@ -199,6 +199,7 @@ class DftlFtl(Ftl):
         moved_data = []
         for ppn in list(self.array.valid_pages_in_block(victim)):
             owner = self.array.owner_of(ppn)
+            self.array.stage_copy_gen(ppn)
             if is_translation_owner(owner):
                 try:
                     new_ppn = self.translation_allocator.allocate(owner)
@@ -258,6 +259,10 @@ class DftlFtl(Ftl):
     def _rebuild_extra_state(self, translation_ppns, translation_owners) -> None:
         """Recover the GTD from on-flash translation pages and drop the
         (volatile) CMT — the demand-paged state a power cycle loses."""
+        # Forget first: a crash between write_back's invalidate-old and
+        # program-new leaves a tvpn with no valid page; a surviving SRAM
+        # entry would point at the invalidated page.
+        self.gtd.clear()
         for ppn, owner in zip(translation_ppns, translation_owners):
             self.gtd.update(decode_translation_owner(int(owner)), int(ppn))
         from repro.ftl.cmt import CachedMappingTable

@@ -310,6 +310,7 @@ class FastFtl(Ftl):
             src_ppn = self.current_ppn(base_lpn + off)
             if src_ppn == -1:
                 continue  # hole: page never written; leave it free
+            self.array.stage_copy_gen(src_ppn)
             self.array.program(first_ppn + off, base_lpn + off)
             t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
             self.gc_stats.controller_moves += 1
@@ -374,6 +375,7 @@ class FastFtl(Ftl):
             src_ppn = self.current_ppn(base_lpn + off)
             if src_ppn == -1:
                 continue
+            self.array.stage_copy_gen(src_ppn)
             self.array.program(first_ppn + off, base_lpn + off)
             t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
             self.gc_stats.controller_moves += 1
@@ -429,9 +431,16 @@ class FastFtl(Ftl):
             if self.array.state_of(ppn) != PageState.VALID:
                 continue  # a merge triggered by an earlier relocation moved it
             owner = int(self.array.owner_of(ppn))
+            # _append_rw may run a full merge (with its own programs of
+            # this owner) before the relocation's program, so staging
+            # could be consumed by the wrong program — capture the
+            # source generation and restamp the final location instead.
+            src_gen = self.array.read_gen(ppn)
             t = self.clock.read_page(src_plane, t)
             t = self._append_rw(owner, t)
             new_ppn = int(self.page_table[owner])
+            if src_gen is not None:
+                self.array.restamp_gen(new_ppn, src_gen)
             self.gc_stats.moved_pages += 1
             self.gc_stats.controller_moves += 1
             if self.faults is not None:

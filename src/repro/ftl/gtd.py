@@ -41,6 +41,14 @@ class GlobalTranslationDirectory:
     def update(self, tvpn: int, ppn: int) -> None:
         self._tpage_ppn[tvpn] = ppn
 
+    def clear(self) -> None:
+        """Forget every entry (crash recovery rebuilds from the flash scan).
+
+        In-place so long-lived references to the flat store (batch
+        kernels) stay valid.
+        """
+        self._tpage_ppn[:] = array("q", [-1]) * self.num_tpages
+
     def is_mapped(self, tvpn: int) -> bool:
         return self._tpage_ppn[tvpn] != -1
 

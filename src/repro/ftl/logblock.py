@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.flash.address import OWNER_NONE
 from repro.ftl.base import OutOfSpaceError
+from repro.obs.tracebus import BUS
 
 
 class MapJournal:
@@ -86,6 +87,15 @@ class MapJournal:
                 self._persisted.pop(int(lbn), None)
             else:
                 self._persisted[int(lbn)] = int(block)
+        # The commit is durable from here: the record reached flash and
+        # the content model reflects it.  (A crash between the program
+        # above and this point models a torn append — the record is
+        # discarded at recovery, exactly like a CRC-invalid page.)
+        if BUS.enabled:
+            BUS.emit("journal", "commit", t, 0.0,
+                     {"lbn": -1 if lbn is None else int(lbn),
+                      "block": -1 if block is None else int(block)},
+                     None, "i")
         return t
 
     def recorded_map(self) -> dict:
@@ -177,6 +187,7 @@ class LogBlockMixin:
             src_ppn = self.current_ppn(base_lpn + off)
             if src_ppn == -1:
                 continue
+            self.array.stage_copy_gen(src_ppn)
             self.array.program(first_ppn + off, base_lpn + off)
             t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
             self.gc_stats.controller_moves += 1
@@ -226,6 +237,7 @@ class LogBlockMixin:
             src_ppn = self.current_ppn(base_lpn + off)
             if src_ppn == -1:
                 continue  # hole: page never written; leave it free
+            self.array.stage_copy_gen(src_ppn)
             self.array.program(first_ppn + off, base_lpn + off)
             t = self.clock.inter_plane_copy(self.codec.ppn_to_plane(src_ppn), dst_plane, t)
             self.gc_stats.controller_moves += 1

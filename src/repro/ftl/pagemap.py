@@ -18,6 +18,7 @@ from repro.flash.timing import TimingParams
 from repro.ftl.allocator import PlaneAllocator, RoamingAllocator
 from repro.flash.array import FlashStateError
 from repro.ftl.base import Ftl, OutOfSpaceError
+from repro.obs.tracebus import BUS
 
 STRIPING_POLICIES = ("lpn", "roaming", "random")
 
@@ -192,6 +193,8 @@ class PageMapFtl(Ftl):
         overflow = False
         for ppn in valids:
             lpn = self.array.owner_of(ppn)
+            self.array.stage_copy_gen(ppn)
+            move_start = t
             if self.roaming is not None:
                 new_ppn = self.roaming.allocate(lpn)
                 dst_plane = self.codec.ppn_to_plane(new_ppn)
@@ -226,6 +229,13 @@ class PageMapFtl(Ftl):
             self.array.invalidate(ppn)
             self.page_table[lpn] = new_ppn
             self.gc_stats.moved_pages += 1
+            if BUS.enabled:
+                BUS.emit("gc", "migrate", move_start, 0.0,
+                         {"plane": plane, "from_ppn": int(ppn), "to_ppn": int(new_ppn),
+                          "mode": "copyback" if (self.roaming is None and
+                                                 self.use_copyback and not overflow)
+                          else "controller"},
+                         None, "i")
         t = self.clock.erase_block(plane, t)
         self.array.erase(victim)
         self.array.release_block(victim)

@@ -45,6 +45,9 @@ CAT_FAULT = "fault"
 CAT_ENGINE = "engine"
 CAT_COUNTER = "counter"
 CAT_PERF = "perf"
+CAT_WB = "wb"
+CAT_JOURNAL = "journal"
+CAT_TORTURE = "torture"
 
 # ---------------------------------------------------------------------------
 # Event names (grouped by category; values are the wire names)
@@ -111,6 +114,17 @@ EV_BLOCK_RETIRED = "block_retired"
 
 # perf (batch-kernel observability)
 EV_BATCH_WINDOW = "batch_window"
+
+# wb (DRAM write buffer)
+EV_WB_FLUSH = "flush"
+
+# journal (hybrid block-map journal)
+EV_JOURNAL_COMMIT = "commit"
+
+# torture (crash-consistency campaigns)
+EV_TORTURE_ARMED = "armed"
+EV_TORTURE_CRASH_FIRED = "crash_fired"
+EV_TORTURE_ORACLE = "oracle"
 
 #: Wildcard name: the ``engine`` category names events after the
 #: dispatched callback's ``__qualname__``, so any name is legal.
@@ -311,8 +325,10 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
     ),
     EventSchema(
         CAT_ARRAY, EV_ARRAY_PROGRAM,
-        {"ppn": "ppn", "owner": "owner"}, modules=_ARRAY,
-        description="page programmed (owner is an lpn or translation id)",
+        {"ppn": "ppn", "owner": "owner"},
+        optional={"gen": "count"}, modules=_ARRAY,
+        description="page programmed (owner is an lpn or translation id; "
+                    "gen is the OOB content generation when armed)",
     ),
     EventSchema(
         CAT_ARRAY, EV_INVALIDATE,
@@ -358,7 +374,7 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
     EventSchema(
         CAT_GC, EV_GC_MIGRATE,
         {"plane": "plane", "from_ppn": "ppn", "to_ppn": "ppn", "mode": "str"},
-        modules=("repro.ftl.dftl", "repro.core.dloop"),
+        modules=("repro.ftl.dftl", "repro.core.dloop", "repro.ftl.pagemap"),
         description="one GC page move (mode: copyback vs controller path)",
     ),
     EventSchema(
@@ -424,8 +440,10 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
     EventSchema(
         CAT_FAULT, EV_READ_LOSS,
         {"plane": "plane", "site": "count"},
+        optional={"lpn": "lpn"},
         modules=("repro.faults.injector",), export_only=True,
-        description="uncorrectable read: page content lost",
+        description="uncorrectable read: page content lost (lpn present "
+                    "when the caller knows which logical page it served)",
     ),
     EventSchema(
         CAT_FAULT, EV_READ_RETRY,
@@ -461,6 +479,42 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
         ph="X", modules=("repro.traces.stream",), export_only=True,
         description="one fused-generation chunk: the arrival-time window "
                     "a batch of requests was produced in",
+    ),
+    # ---- wb (DRAM write buffer) ------------------------------------------
+    EventSchema(
+        CAT_WB, EV_WB_FLUSH,
+        {"pages": "count"},
+        modules=("repro.controller.writebuffer",),
+        description="flush barrier reached with this many buffered pages "
+                    "still volatile (emitted before the first eviction)",
+    ),
+    # ---- journal (hybrid block-map journal) ------------------------------
+    EventSchema(
+        CAT_JOURNAL, EV_JOURNAL_COMMIT,
+        {"lbn": "lbn", "block": "pbn"},
+        modules=("repro.ftl.logblock",),
+        description="block-map journal record durable on flash "
+                    "(block == -1 records a deletion)",
+    ),
+    # ---- torture (crash-consistency campaigns) ---------------------------
+    EventSchema(
+        CAT_TORTURE, EV_TORTURE_ARMED,
+        {"kind": "str", "index": "count"},
+        modules=("repro.torture.arm",), export_only=True,
+        description="crash point armed: power fails at the index-th "
+                    "event of this kind",
+    ),
+    EventSchema(
+        CAT_TORTURE, EV_TORTURE_CRASH_FIRED,
+        {"kind": "str", "index": "count"},
+        modules=("repro.torture.arm",), export_only=True,
+        description="armed crash point reached; power loss follows",
+    ),
+    EventSchema(
+        CAT_TORTURE, EV_TORTURE_ORACLE,
+        {"violations": "count", "checked": "count"},
+        modules=("repro.torture.oracle",), export_only=True,
+        description="durability oracle verdict for one crash replay",
     ),
     # ---- counters --------------------------------------------------------
     EventSchema(
@@ -537,6 +591,7 @@ CONSUMER_MODULES: Tuple[str, ...] = (
     "repro.lint.sanitizer",
     "repro.obs.chrome_trace",
     "repro.obs.sampler",
+    "repro.torture.arm",
 )
 
 #: Declared events the coverage smoke run is allowed to miss, with the

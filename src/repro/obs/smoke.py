@@ -252,6 +252,30 @@ def _scenario_crash() -> None:
     ssd.run_with_crash(requests, crash_at_us=crash_at)
 
 
+def _scenario_write_buffer() -> None:
+    """DRAM write buffer: the ``wb/flush`` barrier marker."""
+    ssd = _new_ssd("dloop", write_buffer_pages=8)
+    ssd.precondition(0.6)
+    ssd.run(_mixed_workload(ssd.geometry, 400, seed=21, trim_share=0.0))
+    # Writes are still buffered after the burst; the explicit flush
+    # emits the barrier event.
+    ssd.flush()
+    ssd.verify()
+
+
+def _scenario_torture() -> None:
+    """Torture instrumentation: ``torture/armed`` + ``crash_fired`` +
+    the oracle verdict of one crash replay (and generation-stamped
+    ``array/program`` payloads along the way)."""
+    from repro.torture import CampaignConfig, TortureCampaign
+
+    campaign = TortureCampaign(CampaignConfig(
+        ftls=("dloop",), workloads=("build",), num_requests=6,
+    ))
+    cell = campaign.cells()[0]
+    campaign.run_point(cell, ("program", 5))
+
+
 #: name -> scenario, in run order.
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "dloop": _scenario_dloop,
@@ -264,6 +288,8 @@ SCENARIOS: Dict[str, Callable[[], None]] = {
     "background-gc": _scenario_background_gc,
     "stream": _scenario_stream,
     "crash": _scenario_crash,
+    "write-buffer": _scenario_write_buffer,
+    "torture": _scenario_torture,
 }
 
 

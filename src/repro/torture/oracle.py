@@ -1,0 +1,142 @@
+"""The durability oracle: post-recovery truth against the AckLedger.
+
+After a crash replay recovers, every LPN must satisfy, in terms of the
+OOB content generations (``a`` = newest acked write gen, ``tr`` =
+newest acked trim gen, ``issued`` = newest issued gen, ``mapped`` =
+generation of the page the recovered mapping resolves to, -1 when
+unmapped):
+
+* **fabrication** — ``mapped > issued``: the device surfaced content
+  the host never sent.  Never excusable.
+* **stale_or_lost** — ``a > tr`` (the write is not superseded by a
+  trim) but the LPN is unmapped or ``mapped < a``: an acknowledged
+  write vanished or regressed.  Excusable when the page was still in
+  the volatile DRAM write buffer at the crash, was lost to an
+  uncorrectable read (media loss, not recovery loss), or belongs to a
+  request that completed with an error status.
+* **resurrected** — ``tr >= a`` and the LPN resolves to content from
+  at or before the trim: discarded data came back.  Excusable only for
+  error-status (partially applied) trims.
+
+Surfacing an *unacknowledged* write (``a < mapped <= issued``) is
+legal: a crash may land after the program but before the completion,
+and a drive may expose either version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.obs.tracebus import BUS
+from repro.torture.ledger import AckLedger
+
+#: Verdict kinds, most severe first (report ranking order).
+VIOLATION_KINDS = ("fabrication", "resurrected", "stale_or_lost")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One LPN that broke a durability promise."""
+
+    kind: str
+    lpn: int
+    acked_write: int
+    acked_trim: int
+    issued: int
+    #: generation of the recovered mapping's page; -1 when unmapped
+    mapped: int
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "lpn": self.lpn,
+            "acked_write": self.acked_write,
+            "acked_trim": self.acked_trim,
+            "issued": self.issued,
+            "mapped": self.mapped,
+        }
+
+
+@dataclass
+class OracleResult:
+    """Verdict for one crash replay."""
+
+    checked: int
+    violations: List[Violation] = field(default_factory=list)
+    #: would-be violations waived by a legitimate excuse, as
+    #: ``(kind, lpn, excuse)`` tuples (diagnostic only)
+    excused: List[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_durability(
+    ftl,
+    ledger: AckLedger,
+    buffered_at_crash: Iterable[int] = (),
+) -> OracleResult:
+    """Interrogate the recovered device against the ledger."""
+    array = ledger.array
+    n = ledger.num_lpns
+    page_table = np.asarray(ftl.page_table_np)[:n]
+    issued = np.asarray(array.lpn_gen_np)
+    mapped_mask = page_table >= 0
+    mapped = np.full(n, -1, dtype=np.int64)
+    if mapped_mask.any():
+        mapped[mapped_mask] = array.page_gen_np[page_table[mapped_mask]]
+    acked_write = ledger.acked_write_np
+    acked_trim = ledger.acked_trim_np
+
+    fabrication = mapped_mask & (mapped > issued)
+    live = (acked_write >= 0) & (acked_write > acked_trim)
+    stale = live & (mapped < acked_write)
+    resurrected = (acked_trim >= 0) & (acked_trim >= acked_write) \
+        & mapped_mask & (mapped <= acked_trim)
+
+    buffered = set(int(lpn) for lpn in buffered_at_crash)
+    result = OracleResult(checked=n)
+
+    def record(kind: str, lpn: int, excuse: Optional[str]) -> None:
+        if excuse is not None:
+            result.excused.append((kind, lpn, excuse))
+            return
+        result.violations.append(Violation(
+            kind=kind,
+            lpn=lpn,
+            acked_write=int(acked_write[lpn]),
+            acked_trim=int(acked_trim[lpn]),
+            issued=int(issued[lpn]),
+            mapped=int(mapped[lpn]),
+        ))
+
+    for lpn in np.flatnonzero(fabrication):
+        record("fabrication", int(lpn), None)
+    for lpn in np.flatnonzero(resurrected):
+        lpn = int(lpn)
+        excuse = "indeterminate" if lpn in ledger.indeterminate else None
+        record("resurrected", lpn, excuse)
+    for lpn in np.flatnonzero(stale):
+        lpn = int(lpn)
+        if lpn in buffered:
+            excuse = "buffered_at_crash"
+        elif lpn in ledger.read_lost:
+            excuse = "read_lost"
+        elif lpn in ledger.indeterminate:
+            excuse = "indeterminate"
+        else:
+            excuse = None
+        record("stale_or_lost", lpn, excuse)
+
+    result.violations.sort(
+        key=lambda v: (VIOLATION_KINDS.index(v.kind), v.lpn)
+    )
+    if BUS.enabled:
+        BUS.emit("torture", "oracle", 0.0, 0.0,
+                 {"violations": len(result.violations),
+                  "checked": result.checked}, None, "i")
+    return result

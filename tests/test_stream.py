@@ -279,13 +279,24 @@ def test_run_workload_stream_mode():
     )
 
 
-def test_run_simulation_stream_rejects_crash():
+def test_run_simulation_stream_composes_with_crash():
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import run_simulation
+    from repro.traces.stream import stream_workload
 
-    config = ExperimentConfig(geometry=REPLAY_GEOMETRY, ftl="dloop")
-    with pytest.raises(ValueError):
-        run_simulation(iter(()), config, stream=True, crash_at_us=100.0)
+    spec = _replay_spec(n=400)
+    config = ExperimentConfig(geometry=REPLAY_GEOMETRY, ftl="dloop",
+                              precondition_fill=0.5)
+    result = run_simulation(
+        stream_workload(spec), config,
+        stream=True, queue_depth=4, crash_at_us=15_000.0,
+    )
+    crash = result.extras["crash"]
+    assert crash["at_us"] == 15_000.0
+    assert crash["recovered_mappings"] > 0
+    # The NCQ window in flight at the power cut is lost; everything else
+    # (pre-crash completions + the resumed tail) is accounted.
+    assert 0 < result.num_requests <= spec.num_requests
 
 
 # ---- streaming stats --------------------------------------------------------
