@@ -136,6 +136,14 @@ def cmd_simulate(args) -> int:
     if args.stream and args.iodepth:
         raise SystemExit("--stream is not supported with --iodepth "
                          "(closed-loop mode has its own admission model)")
+    if args.tenants is not None:
+        if not args.stream:
+            raise SystemExit("--tenants requires --stream")
+        if args.replay:
+            raise SystemExit("--tenants generates per-tenant synthetic "
+                             "traffic; it does not compose with --replay")
+        if args.crash_at_ms is not None:
+            raise SystemExit("--tenants does not compose with --crash-at-ms")
     if args.replay:
         trace = iter_trace_file(args.replay) if args.stream else _load_trace(args.replay)
         trace_name = args.replay
@@ -204,12 +212,24 @@ def cmd_simulate(args) -> int:
             rows += [{"metric": f"sanitizer: {k}", "value": v} for k, v in report.items()]
         print(format_table(rows, title=f"{config.ftl} closed-loop iodepth={args.iodepth} on {trace_name}"))
         return 0
+    tenancy = None
+    if args.tenants is not None:
+        from repro.tenancy import TrafficModel, parse_tenants_spec
+
+        tenancy = TrafficModel(
+            tenants=parse_tenants_spec(args.tenants, args.workload),
+            total_requests=args.requests,
+            base_seed=args.seed if args.seed is not None else 0x7E7A,
+        )
+        trace = iter(())
+        trace_name = f"tenants[{args.tenants}]"
     with _MaybeProfile(args.profile):
         result = run_simulation(
             trace, config, trace_name=trace_name,
             trace_path=args.trace, stats_interval_us=stats_interval_us,
             sanitize=args.sanitize, faults=faults, crash_at_us=crash_at_us,
             stream=args.stream, queue_depth=args.queue_depth,
+            tenancy=tenancy,
         )
     rows = [
         {"metric": "mean response (ms)", "value": result.mean_response_ms},
@@ -244,8 +264,27 @@ def cmd_simulate(args) -> int:
     if result.extras.get("failed_requests"):
         rows.append({"metric": "failed requests",
                      "value": result.extras["failed_requests"]})
+    tenants_report = result.extras.get("tenants")
+    if tenants_report:
+        rows.append({"metric": "tenant fairness (Jain)",
+                     "value": tenants_report["fairness_jain"]})
     capacity_mb = geometry.capacity_bytes / MB
     print(format_table(rows, title=f"{config.ftl} on {trace_name} ({capacity_mb:g} MB SSD)"))
+    if tenants_report:
+        shares = tenants_report["completed_page_shares"]
+        tenant_rows = []
+        for share, digest in zip(shares, tenants_report["summaries"]):
+            tenant_rows.append({
+                "tenant": digest["tenant"],
+                "requests": digest["requests"],
+                "page share": round(share, 4),
+                "mean (ms)": round(digest["mean_us"] / 1000.0, 3),
+                "p99 (ms)": round(digest["p99_us"] / 1000.0, 3),
+                "SLO violations": digest["slo_violations"],
+                "failed": digest["failed_requests"],
+            })
+        print()
+        print(format_table(tenant_rows, title="per-tenant digest"))
     if args.trace:
         print(f"\nchrome trace saved to {args.trace} (open in https://ui.perfetto.dev)")
     if args.json:
@@ -649,6 +688,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--chunk-requests", type=int, default=None,
                      help="generation block size for --stream synthetic traces "
                           "(memory/speed knob; output is identical for any value)")
+    sim.add_argument("--tenants", default=None, metavar="SPEC",
+                     help="multi-tenant run (requires --stream): a tenant count "
+                          "(equal weights, the --workload persona) or "
+                          "name=persona[:weight[:slo_ms]] entries, comma-"
+                          "separated (see docs/multitenancy.md)")
     sim.add_argument("--sanitize", action="store_true",
                      help="run under the FTL invariant sanitizer (fails fast on "
                           "any mapping/GC/ordering violation; see docs/static-analysis.md)")

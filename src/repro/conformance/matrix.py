@@ -77,12 +77,19 @@ class Scenario:
     page_size: int = 2048
     extra_blocks_percent: float = 10.0
     precondition_fill: float = 0.9
+    #: equal-weight tenants sharing the device (0 = tenancy off)
+    tenants: int = 0
 
     @property
     def scenario_id(self) -> str:
         qd = "qd0" if self.queue_depth is None else f"qd{self.queue_depth}"
-        return (f"{self.workload}|{self.ftl}|{self.capacity_mb}mb|"
+        base = (f"{self.workload}|{self.ftl}|{self.capacity_mb}mb|"
                 f"{qd}|{self.fault_plan}")
+        # Suffix only when the axis is on: pre-tenancy ids (and the
+        # seeds folded from them) stay byte-identical.
+        if self.tenants:
+            return f"{base}|t{self.tenants}"
+        return base
 
     def geometry(self) -> SSDGeometry:
         return SSDGeometry.from_capacity(
@@ -120,7 +127,7 @@ class Scenario:
                          f"available: {FAULT_PLANS}")
 
     def as_dict(self) -> dict:
-        return {
+        summary = {
             "id": self.scenario_id,
             "workload": self.workload,
             "ftl": self.ftl,
@@ -130,6 +137,9 @@ class Scenario:
             "num_requests": self.num_requests,
             "seed": self.seed,
         }
+        if self.tenants:
+            summary["tenants"] = self.tenants
+        return summary
 
 
 @dataclass(frozen=True)
@@ -147,6 +157,9 @@ class ScenarioMatrix:
     footprint_fraction: float = 0.6
     base_seed: int = 0xC0F0
     geometry_kwargs: Tuple[Tuple[str, object], ...] = field(default=())
+    #: optional tenant axis: equal-weight tenant counts (0 = tenancy
+    #: off, the default — existing scenario ids/seeds never shift)
+    tenant_counts: Tuple[int, ...] = (0,)
 
     def resolved_ftls(self) -> Tuple[str, ...]:
         return self.ftls if self.ftls else tuple(available_ftls())
@@ -169,20 +182,22 @@ class ScenarioMatrix:
                         if fault_plan != "none" and not ftl_supports_faults(ftl):
                             continue
                         for queue_depth in self.queue_depths:
-                            scenario = Scenario(
-                                workload=workload,
-                                ftl=ftl,
-                                capacity_mb=capacity_mb,
-                                fault_plan=fault_plan,
-                                queue_depth=queue_depth,
-                                num_requests=self.num_requests,
-                                footprint_fraction=self.footprint_fraction,
-                                seed=0,
-                                **overrides,
-                            )
-                            scenarios.append(
-                                _with_seed(scenario, self.base_seed)
-                            )
+                            for tenants in self.tenant_counts:
+                                scenario = Scenario(
+                                    workload=workload,
+                                    ftl=ftl,
+                                    capacity_mb=capacity_mb,
+                                    fault_plan=fault_plan,
+                                    queue_depth=queue_depth,
+                                    num_requests=self.num_requests,
+                                    footprint_fraction=self.footprint_fraction,
+                                    seed=0,
+                                    tenants=tenants,
+                                    **overrides,
+                                )
+                                scenarios.append(
+                                    _with_seed(scenario, self.base_seed)
+                                )
         return scenarios
 
     def describe(self) -> dict:
@@ -196,6 +211,7 @@ class ScenarioMatrix:
             "num_requests": self.num_requests,
             "footprint_fraction": self.footprint_fraction,
             "base_seed": self.base_seed,
+            "tenant_counts": list(self.tenant_counts),
         }
 
 

@@ -13,6 +13,7 @@ requests are still queued elsewhere.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List
 
@@ -24,6 +25,17 @@ from repro.sim.engine import Engine
 from repro.sim.request import IoOp, IoRequest
 
 
+class StreamOrderError(ValueError):
+    """A streamed trace yielded an arrival earlier than its predecessor.
+
+    ``submit_stream`` admits lazily from the current clock, so an
+    out-of-order trace would silently serve requests in a different
+    order than ``submit_many`` — raised (by default) instead of letting
+    the two paths diverge.  Pass ``on_unordered="normalize"`` to clamp
+    late arrivals to the running maximum (FIFO semantics) instead.
+    """
+
+
 @dataclass
 class RequestStats:
     """Response-time accumulator for completed host requests."""
@@ -31,6 +43,10 @@ class RequestStats:
     response_us: List[float] = field(default_factory=list)
     read_response_us: List[float] = field(default_factory=list)
     write_response_us: List[float] = field(default_factory=list)
+    #: response times of requests that completed with an error status
+    #: (end-of-life ENOSPC) — bucketed apart so moments/percentiles
+    #: describe successful service only.
+    error_response_us: List[float] = field(default_factory=list)
     pages_read: int = 0
     pages_written: int = 0
     pages_trimmed: int = 0
@@ -48,7 +64,7 @@ class RequestStats:
         return len(self.response_us)
 
     def observe(self, response_us: float, is_write: bool) -> None:
-        """Record one completed request's response time.
+        """Record one successfully completed request's response time.
 
         The single accumulation seam shared with
         :class:`repro.metrics.streaming.StreamingRequestStats`, so the
@@ -59,6 +75,10 @@ class RequestStats:
             self.write_response_us.append(response_us)
         else:
             self.read_response_us.append(response_us)
+
+    def observe_error(self, response_us: float, is_write: bool) -> None:
+        """Record an error-status completion (kept out of the moments)."""
+        self.error_response_us.append(response_us)
 
     def mean_response_us(self) -> float:
         return float(np.mean(self.response_us)) if self.response_us else 0.0
@@ -92,6 +112,9 @@ class Controller:
         #: durability bookkeeper (repro.torture.AckLedger) — None keeps
         #: the hot path free of any per-request overhead
         self.ledger = None
+        #: per-tenant stats router (repro.tenancy.TenantStatsRouter) —
+        #: set by its attach(); None for single-tenant runs
+        self.tenants = None
         # Streaming admission (submit_stream): the not-yet-admitted tail
         # of the trace, the number of admitted-but-uncompleted streamed
         # requests, and whether admission is blocked on a full window.
@@ -99,6 +122,8 @@ class Controller:
         self._stream_depth: int | None = None
         self._stream_window = 0
         self._stream_deferred = False
+        self._stream_last_arrival = -math.inf
+        self._stream_normalize = False
 
     def submit(self, request: IoRequest) -> None:
         """Register a request for arrival at its timestamp."""
@@ -115,7 +140,9 @@ class Controller:
         )
         return len(handles)
 
-    def submit_stream(self, requests, queue_depth: int | None = None) -> None:
+    def submit_stream(
+        self, requests, queue_depth: int | None = None, on_unordered: str = "raise"
+    ) -> None:
         """Lazily admit requests from an iterator (NCQ admission model).
 
         Unlike :meth:`submit_many`, which pre-schedules every arrival
@@ -123,7 +150,12 @@ class Controller:
         time: at most one not-yet-arrived request is in the event queue,
         so a multi-million-request trace runs in O(1) controller memory.
         Arrivals must be time-ordered (the generators and trace parsers
-        all are).
+        all are): out-of-order arrivals would silently serve in a
+        different order than :meth:`submit_many`, so they raise
+        :class:`StreamOrderError` by default.  Parsed traces that are
+        legitimately unordered can pass ``on_unordered="normalize"`` to
+        clamp late arrivals up to the running maximum (FIFO order; the
+        clamp shows up as host-side queueing delay in the stats).
 
         ``queue_depth`` bounds the admitted-but-uncompleted window, the
         way NCQ/host queue depth bounds a real drive: when the window is
@@ -136,10 +168,14 @@ class Controller:
         """
         if queue_depth is not None and queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if on_unordered not in ("raise", "normalize"):
+            raise ValueError("on_unordered must be 'raise' or 'normalize'")
         self._stream = iter(requests)
         self._stream_depth = queue_depth
         self._stream_window = 0
         self._stream_deferred = False
+        self._stream_last_arrival = -math.inf
+        self._stream_normalize = on_unordered == "normalize"
         self._admit()
 
     def _admit(self) -> None:
@@ -153,11 +189,23 @@ class Controller:
         if request is None:
             self._stream = None
             return
+        arrival = request.arrival_us
+        if arrival < self._stream_last_arrival:
+            if not self._stream_normalize:
+                self.abort_stream()
+                raise StreamOrderError(
+                    f"streamed arrival {arrival} precedes predecessor "
+                    f"{self._stream_last_arrival}; sort the trace or pass "
+                    "on_unordered='normalize'"
+                )
+            arrival = self._stream_last_arrival
+            request.arrival_us = arrival
+        else:
+            self._stream_last_arrival = arrival
         request.streamed = True
         self._stream_window += 1
         engine = self.engine
         now = engine._now
-        arrival = request.arrival_us
         engine.post(
             arrival if arrival > now else now, self._arrive_streamed, request
         )
@@ -174,6 +222,8 @@ class Controller:
         self._stream_depth = None
         self._stream_window = 0
         self._stream_deferred = False
+        self._stream_last_arrival = -math.inf
+        self._stream_normalize = False
 
     def _arrive_streamed(self, request: IoRequest) -> None:
         # Pull the successor *before* serving this request so the next
@@ -306,4 +356,10 @@ class Controller:
         if outstanding == 0:
             for callback in self.on_idle:
                 callback()
-        self.stats.observe(response, request.op is IoOp.WRITE)
+        if request.error is None:
+            self.stats.observe(response, request.op is IoOp.WRITE)
+        else:
+            # ENOSPC'd requests still carry a completion time, but their
+            # "response" measures rejection, not service — keep them out
+            # of the success moments on both submit paths.
+            self.stats.observe_error(response, request.op is IoOp.WRITE)

@@ -146,6 +146,7 @@ class SimulatedSSD:
         queue_depth: Optional[int] = None,
         until: Optional[float] = None,
         streaming_stats: bool = True,
+        on_unordered: str = "raise",
     ) -> float:
         """Run a (possibly unbounded) request stream in bounded memory.
 
@@ -162,14 +163,30 @@ class SimulatedSSD:
         running moments, reservoir percentiles).  Pass False to keep
         full per-request latency lists, e.g. for small traces that need
         exact high percentiles.
+
+        ``on_unordered`` is forwarded to
+        :meth:`Controller.submit_stream`: ``"raise"`` (default) fails
+        fast on an out-of-order trace, ``"normalize"`` clamps late
+        arrivals up to the running maximum (FIFO replay).
         """
         if streaming_stats:
             from repro.metrics.streaming import StreamingRequestStats
 
             if not isinstance(self.controller.stats, StreamingRequestStats):
                 self.controller.stats = StreamingRequestStats()
-        self.controller.submit_stream(requests, queue_depth=queue_depth)
-        end = self.engine.run(until=until)
+        self.controller.submit_stream(
+            requests, queue_depth=queue_depth, on_unordered=on_unordered
+        )
+        try:
+            end = self.engine.run(until=until)
+        except BaseException:
+            # A raise mid-stream (TortureCrash, SanitizerError, ...)
+            # must not leave the NCQ window armed: a later submit_many
+            # replay on the same controller would inherit the stale
+            # admission state.  ``until=`` pauses return normally and
+            # keep the stream resumable.
+            self.controller.abort_stream()
+            raise
         if self.sanitizer is not None:
             self.sanitizer.check_now()
         return end
@@ -322,7 +339,11 @@ class SimulatedSSD:
             self.controller.submit_stream(iter(requests), queue_depth=queue_depth)
         else:
             self.controller.submit_many(requests)
-        self.engine.run(until=crash_at_us)
+        try:
+            self.engine.run(until=crash_at_us)
+        except BaseException:
+            self.controller.abort_stream()
+            raise
         return self.crash()
 
     def flush(self) -> float:

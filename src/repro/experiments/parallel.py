@@ -35,6 +35,8 @@ class SweepCell:
     queue_depth: Optional[int] = None
     faults: Optional[object] = None
     conformance: bool = False
+    #: equal-weight tenants sharing the device (0 = tenancy off)
+    tenants: int = 0
 
     def tagged_extras(self) -> Dict[str, object]:
         return dict(self.extras or ())
@@ -48,6 +50,7 @@ def _run_cell(cell: SweepCell) -> SimulationResult:
         queue_depth=cell.queue_depth,
         faults=cell.faults,
         conformance=cell.conformance,
+        tenants=cell.tenants,
     )
     result.extras.update(cell.tagged_extras())
     return result

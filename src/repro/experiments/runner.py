@@ -89,6 +89,7 @@ def run_simulation(
     stream: bool = False,
     queue_depth: Optional[int] = None,
     probes: Optional[Sequence] = None,
+    tenancy=None,
 ) -> SimulationResult:
     """Replay a trace through a freshly built (and preconditioned) SSD.
 
@@ -135,10 +136,24 @@ def run_simulation(
         ssd.precondition(config.precondition_fill)
 
     extras: dict = {}
+    tenant_fleet = None
     if stream:
         from repro.traces.stream import io_requests
 
-        stream_iter = io_requests(trace, config.geometry)
+        if tenancy is not None:
+            # Multi-tenant replay: ``trace`` is ignored — the tenant
+            # streams come from the model, already translated into
+            # device LPNs and merged by the DRR scheduler.
+            if crash_at_us is not None:
+                raise ValueError("tenancy does not compose with crash_at_us")
+            from repro.tenancy.scheduler import drr_merge
+            from repro.tenancy.service import build_tenancy
+
+            tenant_fleet = build_tenancy(config.geometry, tenancy)
+            tenant_fleet.router.attach(ssd.controller)
+            stream_iter = drr_merge(tenant_fleet.queues)
+        else:
+            stream_iter = io_requests(trace, config.geometry)
 
         def _drive() -> float:
             if crash_at_us is None:
@@ -159,6 +174,8 @@ def run_simulation(
             )
             return ssd.run_stream(stream_iter, queue_depth=queue_depth)
     else:
+        if tenancy is not None:
+            raise ValueError("tenancy requires stream=True")
         capacity = config.geometry.capacity_bytes
         requests: List = []
         for r in trace:
@@ -196,8 +213,22 @@ def run_simulation(
     finally:
         for probe in probes or ():
             probe.detach()
+        if tenant_fleet is not None:
+            tenant_fleet.router.detach(ssd.controller)
     if probes:
         extras["conformance"] = {p.rule: p.result().as_dict() for p in probes}
+    if tenant_fleet is not None:
+        from repro.tenancy.stats import jain_index
+
+        shares = tenant_fleet.router.completed_page_shares()
+        weights = [q.weight for q in tenant_fleet.queues]
+        extras["tenants"] = {
+            "summaries": tenant_fleet.router.summaries(),
+            "completed_page_shares": shares,
+            "fairness_jain": jain_index(
+                [s / w for s, w in zip(shares, weights)]
+            ),
+        }
 
     ftl = ssd.ftl
     stats = ssd.stats
@@ -280,6 +311,7 @@ def run_workload(
     faults=None,
     conformance: bool = False,
     probes: Optional[Sequence] = None,
+    tenants: int = 0,
 ) -> SimulationResult:
     """Generate a synthetic workload and run it.
 
@@ -289,11 +321,31 @@ def run_workload(
     ``conformance=True`` attaches the standard four contract probes
     (:func:`repro.conformance.rules.default_probes`) for the measured
     run; pass ``probes`` to supply a custom set instead.
+    ``tenants=N`` (stream-only) splits the device between N equal-weight
+    tenants all running ``spec``'s persona, merged through the tenancy
+    layer's DRR scheduler (per-tenant digests land in
+    ``result.extras['tenants']``).
     """
     if conformance and probes is None:
         from repro.conformance.rules import default_probes
 
         probes = default_probes(config.geometry)
+    if tenants:
+        from repro.tenancy.synthesizer import TenantSpec, TrafficModel
+
+        model = TrafficModel(
+            tenants=tuple(
+                TenantSpec(name=f"t{i}", persona=spec.name)
+                for i in range(tenants)
+            ),
+            total_requests=spec.num_requests,
+            base_seed=spec.seed,
+        )
+        return run_simulation(
+            iter(()), config, trace_name=f"{spec.name}:t{tenants}",
+            stream=True, queue_depth=queue_depth, faults=faults,
+            probes=probes, tenancy=model,
+        )
     if stream:
         from repro.traces.stream import stream_workload
 

@@ -107,6 +107,9 @@ class StreamingRequestStats:
         self.overall = RunningMoments()
         self.reads = RunningMoments()
         self.writes = RunningMoments()
+        #: error-status completions (end-of-life ENOSPC), bucketed apart
+        #: so the success moments/reservoir match ``RequestStats``.
+        self.errors = RunningMoments()
         self.reservoir = DeterministicReservoir(reservoir_size, reservoir_seed)
         self.pages_read = 0
         self.pages_written = 0
@@ -145,6 +148,12 @@ class StreamingRequestStats:
             j = r._rng.randrange(seen)
             if j < r.capacity:
                 values[j] = x
+
+    def observe_error(self, response_us: float, is_write: bool) -> None:
+        """Record an error-status completion (kept out of the moments
+        and the percentile reservoir — the reservoir's eviction stream
+        must match a fault-free replay of the successful requests)."""
+        self.errors.push(response_us)
 
     # ---- RequestStats-compatible reporting surface ------------------------
 

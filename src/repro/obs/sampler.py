@@ -208,6 +208,16 @@ class StatsSampler:
         if faults is not None:
             registry.gauge("fault_events_total").set(fault_events)
             registry.gauge("fault_lost_pages").set(self.ftl.stats.lost_pages)
+        tenants = controller.tenants
+        if tenants is not None:
+            for lane in tenants.lanes:
+                nsid = lane.namespace.nsid
+                registry.gauge(f"tenant{nsid}_completed_pages").set(
+                    lane.completed_pages
+                )
+                registry.gauge(f"tenant{nsid}_slo_violations").set(
+                    lane.slo_violations
+                )
         self._depth_histogram.observe(depth)
 
         bus = self.bus
@@ -238,3 +248,14 @@ class StatsSampler:
                      "read_retries": fstats.read_retries,
                      "lost_pages": fstats.uncorrectable_reads},
                 )
+            if tenants is not None:
+                # One sample per tenant lane; single-tenant traces keep
+                # their track list unchanged (tenants is None).
+                for lane in tenants.lanes:
+                    bus.counter(
+                        "tenants", now,
+                        {"tenant": lane.namespace.nsid,
+                         "completed_pages": lane.completed_pages,
+                         "slo_violations": lane.slo_violations,
+                         "failed": lane.failed_requests},
+                    )

@@ -48,6 +48,7 @@ CAT_PERF = "perf"
 CAT_WB = "wb"
 CAT_JOURNAL = "journal"
 CAT_TORTURE = "torture"
+CAT_TENANT = "tenant"
 
 # ---------------------------------------------------------------------------
 # Event names (grouped by category; values are the wire names)
@@ -125,6 +126,10 @@ EV_JOURNAL_COMMIT = "commit"
 EV_TORTURE_ARMED = "armed"
 EV_TORTURE_CRASH_FIRED = "crash_fired"
 EV_TORTURE_ORACLE = "oracle"
+
+# tenant (multi-tenant admission, repro.tenancy)
+EV_TENANT_ADMIT = "admit"
+EV_TENANT_SLO_VIOLATION = "slo_violation"
 
 #: Wildcard name: the ``engine`` category names events after the
 #: dispatched callback's ``__qualname__``, so any name is legal.
@@ -516,6 +521,20 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
         modules=("repro.torture.oracle",), export_only=True,
         description="durability oracle verdict for one crash replay",
     ),
+    # ---- tenant (multi-tenant admission) ---------------------------------
+    EventSchema(
+        CAT_TENANT, EV_TENANT_ADMIT,
+        {"tenant": "count", "lpn": "lpn", "pages": "count", "op": "str"},
+        modules=("repro.tenancy.scheduler",), export_only=True,
+        description="DRR scheduler admitted a tenant request into the "
+                    "merged stream (lpn is the translated device LPN)",
+    ),
+    EventSchema(
+        CAT_TENANT, EV_TENANT_SLO_VIOLATION,
+        {"tenant": "count", "response_us": "us", "target_us": "us"},
+        ph="X", modules=("repro.tenancy.stats",), export_only=True,
+        description="a completed request blew its tenant's p99 target",
+    ),
     # ---- counters --------------------------------------------------------
     EventSchema(
         CAT_COUNTER, "queue_depth", {"outstanding": "count"},
@@ -560,6 +579,13 @@ _SCHEMAS: Tuple[EventSchema, ...] = (
          "read_retries": "count", "lost_pages": "count"},
         ph="C", modules=("repro.obs.sampler",), export_only=True,
         description="fault-injection totals (only under injection)",
+    ),
+    EventSchema(
+        CAT_COUNTER, "tenants",
+        {"tenant": "count", "completed_pages": "count",
+         "slo_violations": "count", "failed": "count"},
+        ph="C", modules=("repro.obs.sampler",), export_only=True,
+        description="per-tenant completion totals (multi-tenant runs only)",
     ),
 )
 

@@ -276,6 +276,27 @@ def _scenario_torture() -> None:
     campaign.run_point(cell, ("program", 5))
 
 
+def _scenario_tenancy() -> None:
+    """Multi-tenant admission: ``tenant/admit`` + ``slo_violation`` +
+    the per-tenant ``counter/tenants`` sampler track."""
+    from repro.tenancy import TenantSpec, TrafficModel, run_tenant_workload
+
+    ssd = _new_ssd("dloop", stats_interval_us=5_000.0)
+    ssd.precondition(0.5)
+    # A 1 us p99 target is unmeetable by design — the violation event
+    # must fire during the smoke run.
+    model = TrafficModel(
+        tenants=(
+            TenantSpec("smoke-a", "financial1", slo_p99_ms=0.001),
+            TenantSpec("smoke-b", "webserver"),
+        ),
+        total_requests=300,
+        base_seed=22,
+    )
+    run_tenant_workload(ssd, model, queue_depth=8)
+    ssd.verify()
+
+
 #: name -> scenario, in run order.
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "dloop": _scenario_dloop,
@@ -290,6 +311,7 @@ SCENARIOS: Dict[str, Callable[[], None]] = {
     "crash": _scenario_crash,
     "write-buffer": _scenario_write_buffer,
     "torture": _scenario_torture,
+    "tenancy": _scenario_tenancy,
 }
 
 

@@ -47,6 +47,9 @@ class IoRequest:
         True when the request was admitted through the controller's
         streaming admission window (``submit_stream``) and must return
         a window slot on completion.
+    tenant:
+        Namespace id of the tenant that issued the request (multi-tenant
+        admission, ``repro.tenancy``), or None for single-tenant runs.
     """
 
     arrival_us: float
@@ -58,6 +61,7 @@ class IoRequest:
     retries: int = field(default=0, compare=False)
     lost_pages: int = field(default=0, compare=False)
     streamed: bool = field(default=False, compare=False, repr=False)
+    tenant: int | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.page_count < 1:

@@ -1,0 +1,51 @@
+"""Multi-tenant service layer: namespaces, fair admission, SLOs.
+
+The front door for the ROADMAP's "millions of users" tier: NVMe-style
+namespaces partition the logical page space per tenant, a weighted
+deficit-round-robin scheduler merges per-tenant NCQ queues into the
+controller's streaming admission window, per-tenant streaming stats
+track tail-latency SLOs, and a Zipf-popularity traffic synthesizer
+turns a service population into deterministic per-tenant streams.
+
+See ``docs/multitenancy.md`` for the model and knobs.
+"""
+
+from repro.tenancy.namespace import Namespace, NamespaceError, build_namespaces
+from repro.tenancy.scheduler import (
+    DEFAULT_QUANTUM_PAGES,
+    TenantQueue,
+    drr_merge,
+)
+from repro.tenancy.service import (
+    Tenancy,
+    TenancyResult,
+    build_tenancy,
+    run_tenant_workload,
+)
+from repro.tenancy.stats import TenantStats, TenantStatsRouter, jain_index
+from repro.tenancy.synthesizer import (
+    TenantSpec,
+    TrafficModel,
+    diurnal_warp,
+    parse_tenants_spec,
+)
+
+__all__ = [
+    "DEFAULT_QUANTUM_PAGES",
+    "Namespace",
+    "NamespaceError",
+    "Tenancy",
+    "TenancyResult",
+    "TenantQueue",
+    "TenantSpec",
+    "TenantStats",
+    "TenantStatsRouter",
+    "TrafficModel",
+    "build_namespaces",
+    "build_tenancy",
+    "diurnal_warp",
+    "drr_merge",
+    "jain_index",
+    "parse_tenants_spec",
+    "run_tenant_workload",
+]

@@ -1,0 +1,102 @@
+"""Glue: build a tenant fleet and run it through one SimulatedSSD.
+
+The service layer is strictly *above* the device: it carves the
+namespace map, synthesizes per-tenant streams, merges them through the
+DRR scheduler, and lets :meth:`SimulatedSSD.run_stream` drain the
+merged stream through the ordinary NCQ admission window.  Nothing in
+the device stack knows tenancy exists, which is what keeps
+single-tenant runs bit-identical with tenancy disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.tenancy.namespace import Namespace, build_namespaces
+from repro.tenancy.scheduler import (
+    DEFAULT_QUANTUM_PAGES,
+    TenantQueue,
+    drr_merge,
+)
+from repro.tenancy.stats import TenantStats, TenantStatsRouter, jain_index
+from repro.tenancy.synthesizer import TrafficModel
+
+
+@dataclass
+class Tenancy:
+    """A built (but not yet run) tenant fleet."""
+
+    namespaces: Tuple[Namespace, ...]
+    queues: List[TenantQueue]
+    router: TenantStatsRouter
+
+
+@dataclass
+class TenancyResult:
+    """Outcome of one multi-tenant run."""
+
+    end_us: float
+    tenancy: Tenancy
+
+    @property
+    def summaries(self) -> List[dict]:
+        return self.tenancy.router.summaries()
+
+    @property
+    def completed_page_shares(self) -> List[float]:
+        return self.tenancy.router.completed_page_shares()
+
+    @property
+    def fairness_jain(self) -> float:
+        """Jain's index over weight-normalized completed-page shares."""
+        weights = [q.weight for q in self.tenancy.queues]
+        shares = self.completed_page_shares
+        return jain_index([s / w for s, w in zip(shares, weights)])
+
+
+def build_tenancy(geometry, model: TrafficModel) -> Tenancy:
+    """Partition the LPN space and synthesize every tenant's stream."""
+    names = [t.name for t in model.tenants]
+    shares = None
+    if any(t.share is not None for t in model.tenants):
+        shares = [t.share if t.share is not None else 1.0
+                  for t in model.tenants]
+    namespaces = build_namespaces(geometry.num_lpns, names, shares)
+    queues = []
+    for index, namespace in enumerate(namespaces):
+        stream = model.tenant_stream(index, namespace, geometry.page_size)
+        queues.append(
+            TenantQueue(namespace, stream, weight=model.tenants[index].weight)
+        )
+    lanes = []
+    for index, namespace in enumerate(namespaces):
+        slo_ms = model.tenants[index].slo_p99_ms
+        slo_us = slo_ms * 1000.0 if slo_ms is not None else None
+        lanes.append(TenantStats(namespace, slo_p99_us=slo_us))
+    return Tenancy(namespaces=namespaces, queues=queues,
+                   router=TenantStatsRouter(lanes))
+
+
+def run_tenant_workload(
+    ssd,
+    model: TrafficModel,
+    *,
+    queue_depth: Optional[int] = None,
+    until: Optional[float] = None,
+    quantum_pages: int = DEFAULT_QUANTUM_PAGES,
+) -> TenancyResult:
+    """Run a tenant fleet to completion on ``ssd``.
+
+    Deterministic end to end: namespace layout, per-tenant seeds, DRR
+    interleaving, and the admission window all derive from the model
+    and the device, never from iteration order or wall clock.
+    """
+    tenancy = build_tenancy(ssd.geometry, model)
+    merged = drr_merge(tenancy.queues, quantum_pages=quantum_pages)
+    tenancy.router.attach(ssd.controller)
+    try:
+        end = ssd.run_stream(merged, queue_depth=queue_depth, until=until)
+    finally:
+        tenancy.router.detach(ssd.controller)
+    return TenancyResult(end_us=end, tenancy=tenancy)

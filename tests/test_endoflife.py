@@ -91,3 +91,47 @@ def test_end_of_life_metrics_expose_wear(small_geometry):
     assert manager.remaining_life_fraction() < life_fresh
     assert manager.stats.runtime_retired + manager.stats.factory_bad <= \
         ssd.ftl.array.bad_block_count()
+
+
+def test_error_samples_stay_out_of_moments_on_both_paths(small_geometry):
+    """ENOSPC'd requests are bucketed apart from successes identically
+    on the materialized (``RequestStats``) and streamed
+    (``StreamingRequestStats``) paths: same failure count, same success
+    count, same moments — and count + failed always equals the trace
+    length (regression: errors used to pollute the Welford moments and
+    the percentile reservoir)."""
+    def build():
+        ssd = SimulatedSSD(small_geometry, ftl="dloop",
+                           faults=FaultConfig(seed=21, erase_fail_rate=0.30))
+        ssd.precondition(0.5)
+        return ssd
+
+    requests = _write_hammer(small_geometry.num_lpns, n=3000)
+
+    materialized = build()
+    materialized.run(list(requests))
+
+    streamed = build()
+    streamed.run_stream(
+        iter(_write_hammer(small_geometry.num_lpns, n=3000))
+    )
+
+    m, s = materialized.stats, streamed.stats
+    assert m.failed_requests > 0, "trace never hit end of life"
+    assert s.failed_requests == m.failed_requests
+    # Successes only in the headline count, on both paths.
+    assert s.count == m.count
+    assert m.count + m.failed_requests == len(requests)
+    # Errors land in their own bucket, same cardinality both paths.
+    assert len(m.error_response_us) == m.failed_requests
+    assert s.errors.count == s.failed_requests
+    # Success moments agree (Welford vs full-series numpy).
+    assert s.mean_response_us() == pytest.approx(
+        m.mean_response_us(), rel=1e-9
+    )
+    # Error-bucket moments agree too.
+    import numpy as np
+
+    assert s.errors.mean == pytest.approx(
+        float(np.mean(m.error_response_us)), rel=1e-9
+    )

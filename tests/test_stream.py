@@ -421,3 +421,110 @@ def test_stream_generation_memory_is_o_chunk():
     # holds 40k TraceRequest objects.  Require a decisive gap so the
     # test stays robust to allocator noise.
     assert stream_peak < full_peak / 4
+
+
+# ---- stream-state hygiene on mid-run raises (bugfix) ------------------------
+
+
+def test_midstream_crash_clears_admission_state():
+    """A TortureCrash mid-stream must not leave the NCQ window armed:
+    the next materialized run on the same device starts fresh instead
+    of inheriting a phantom ``_stream_depth`` (regression)."""
+    from repro.sim.request import IoRequest
+    from repro.torture.arm import TortureArm, TortureCrash
+
+    spec = _replay_spec(n=400)
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ssd.precondition(0.6)
+    arm = TortureArm().attach(armed=("program", 25), ftl=ssd.ftl)
+    try:
+        with pytest.raises(TortureCrash):
+            ssd.run_stream(
+                io_requests(stream_workload(spec), REPLAY_GEOMETRY),
+                queue_depth=4,
+            )
+    finally:
+        arm.detach()
+    controller = ssd.controller
+    assert controller._stream is None
+    assert controller._stream_depth is None
+    assert controller._stream_window == 0
+    assert controller._stream_deferred is False
+
+    # The device is usable after recovery — and the follow-up run is
+    # not throttled by the dead stream's queue depth.
+    ssd.crash()
+    t0 = ssd.engine.now
+    before = ssd.stats.count
+    reads = [IoRequest(t0 + i, i % REPLAY_GEOMETRY.num_lpns, 1, IoOp.READ)
+             for i in range(32)]
+    ssd.run(reads)
+    assert ssd.stats.count == before + 32
+    assert ssd.controller.peak_outstanding > 4
+
+
+# ---- out-of-order streamed traces (bugfix) ----------------------------------
+
+
+def _shuffled_requests(n=600, seed=3):
+    """A replayable trace whose arrivals are NOT monotone."""
+    spec = small_spec(n=n, footprint_bytes=4 * MB, seed=9)
+    rng = random.Random(seed)
+    trace = generate(spec)
+    rng.shuffle(trace)
+    capacity = REPLAY_GEOMETRY.capacity_bytes
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    requests = []
+    for r in trace:
+        offset = r.offset_bytes % capacity
+        size = min(r.size_bytes, capacity - offset)
+        requests.append(ssd.byte_request(
+            r.arrival_us, offset, size, IoOp.WRITE if r.is_write else IoOp.READ
+        ))
+    return requests
+
+
+def test_unordered_stream_raises_by_default():
+    from repro.controller.controller import StreamOrderError
+
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ssd.precondition(0.6)
+    with pytest.raises(StreamOrderError):
+        ssd.run_stream(iter(_shuffled_requests()))
+    # The aborted stream leaves no admission state behind.
+    assert ssd.controller._stream is None
+    assert ssd.controller._stream_depth is None
+
+
+def test_bad_on_unordered_rejected():
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    with pytest.raises(ValueError):
+        ssd.run_stream(iter(()), on_unordered="ignore")
+
+
+def test_normalized_stream_matches_materialized_clamped_trace():
+    """``on_unordered='normalize'`` clamps late arrivals up to the
+    running max — bit-identical to materializing the same trace with
+    ``np.maximum.accumulate`` over the arrivals and replaying it."""
+    streamed = _shuffled_requests()
+    ssd = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ssd.precondition(0.6)
+    end = ssd.run_stream(iter(streamed), on_unordered="normalize")
+    fp = ftl_fingerprint(ssd.ftl, end)
+    fp.update(engine_fingerprint(ssd.engine))
+
+    materialized = _shuffled_requests()
+    arrivals = np.maximum.accumulate([r.arrival_us for r in materialized])
+    for request, arrival in zip(materialized, arrivals):
+        request.arrival_us = float(arrival)
+    ref = SimulatedSSD(REPLAY_GEOMETRY, TimingParams(), ftl="dloop")
+    ref.precondition(0.6)
+    ref_end = ref.run(materialized)
+    ref_fp = ftl_fingerprint(ref.ftl, ref_end)
+    ref_fp.update(engine_fingerprint(ref.engine))
+
+    assert fp == ref_fp
+    assert ssd.stats.count == ref.stats.count
+    assert ssd.stats.mean_response_us() == pytest.approx(
+        ref.stats.mean_response_us(), rel=1e-9
+    )
